@@ -1,0 +1,62 @@
+package simjoin
+
+import "testing"
+
+// TestAutoAlgorithm: "auto" must pick a working algorithm for every
+// workload regime and give the exact answer each time.
+func TestAutoAlgorithm(t *testing.T) {
+	for name, make := range map[string]func() *Dataset{
+		"tiny":        func() *Dataset { ds, _ := Synthetic("uniform", 50, 4, 1); return ds },
+		"one-dim":     func() *Dataset { ds, _ := Synthetic("uniform", 3000, 1, 2); return ds },
+		"typical":     func() *Dataset { ds, _ := Synthetic("clustered", 3000, 8, 3); return ds },
+		"unselective": func() *Dataset { ds, _ := Synthetic("uniform", 3000, 2, 4); return ds },
+	} {
+		ds := make()
+		eps := 0.1
+		if name == "unselective" {
+			eps = 0.8
+		}
+		auto, err := SelfJoin(ds, Options{Eps: eps, Algorithm: AlgorithmAuto})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		exact, err := SelfJoin(ds, Options{Eps: eps, Algorithm: AlgorithmBrute})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(auto.Pairs) != len(exact.Pairs) {
+			t.Fatalf("%s: auto %d pairs, exact %d", name, len(auto.Pairs), len(exact.Pairs))
+		}
+		for i := range exact.Pairs {
+			if auto.Pairs[i] != exact.Pairs[i] {
+				t.Fatalf("%s: pair %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestAutoOnEmptyDataset(t *testing.T) {
+	res, err := SelfJoin(NewDataset(3), Options{Eps: 0.1, Algorithm: AlgorithmAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 0 {
+		t.Error("empty dataset produced pairs")
+	}
+}
+
+func TestAutoTwoSetJoin(t *testing.T) {
+	a, _ := Synthetic("clustered", 2000, 6, 5)
+	b, _ := Synthetic("clustered", 2000, 6, 5) // same seed: many cross pairs
+	auto, err := Join(a, b, Options{Eps: 0.05, Algorithm: AlgorithmAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Join(a, b, Options{Eps: 0.05, Algorithm: AlgorithmBrute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auto.Pairs) != len(exact.Pairs) {
+		t.Fatalf("auto %d pairs, exact %d", len(auto.Pairs), len(exact.Pairs))
+	}
+}

@@ -1,0 +1,86 @@
+// Command repro regenerates every figure and table of the evaluation (see
+// DESIGN.md §4 for the experiment index). Each experiment prints an aligned
+// table; pass -csv to also write machine-readable copies.
+//
+//	repro              # full-scale run (a few minutes)
+//	repro -quick       # CI-scale run (tens of seconds)
+//	repro -only f2,f7  # a subset of experiments
+//	repro -csv out/    # also write out/f1.csv … out/t2.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"simjoin/internal/bench"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "run the reduced CI-scale workloads")
+		only   = flag.String("only", "", "comma-separated experiment ids (f1…f8, t1, t2, e1…e3); default all")
+		csvDir = flag.String("csv", "", "directory to write per-experiment CSV files (created if missing)")
+	)
+	flag.Parse()
+	if err := run(*quick, *only, *csvDir, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, only, csvDir string, out io.Writer) error {
+	selected := map[string]bool{}
+	if only != "" {
+		for _, id := range strings.Split(only, ",") {
+			selected[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	mode := "full"
+	if quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(out, "# simjoin evaluation reproduction (%s mode)\n\n", mode)
+	total := time.Now()
+	ran := 0
+	for _, ex := range append(bench.All(), bench.Extensions()...) {
+		if len(selected) > 0 && !selected[ex.ID] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		tb := ex.Run(quick)
+		fmt.Fprintf(out, "%s\n", ex.Title)
+		if err := tb.WriteText(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(%s in %s)\n\n", ex.ID, time.Since(start).Round(time.Millisecond))
+		if csvDir != "" {
+			f, err := os.Create(filepath.Join(csvDir, ex.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := tb.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched -only=%q", only)
+	}
+	fmt.Fprintf(out, "# %d experiments in %s\n", ran, time.Since(total).Round(time.Millisecond))
+	return nil
+}

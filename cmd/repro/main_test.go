@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSubsetQuick(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run(true, "f4,t2", dir, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"quick mode", "F4", "T2", "leaf", "build_ms", "2 experiments"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "F1:") {
+		t.Error("unselected experiment ran")
+	}
+	for _, name := range []string{"f4.csv", "t2.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(string(data), ",") {
+			t.Errorf("%s: not CSV-shaped", name)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run(true, "f99", "", &out); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestRunBadCSVDir(t *testing.T) {
+	var out strings.Builder
+	if err := run(true, "f4", "/proc/definitely/not/writable", &out); err == nil {
+		t.Error("unwritable csv dir accepted")
+	}
+}

@@ -1,0 +1,59 @@
+// Command simjoind serves similarity joins and neighbor queries over HTTP.
+// Datasets are uploaded (JSON or CSV) and queried by name:
+//
+//	simjoind -addr :8080 [-load name=path ...]
+//
+//	PUT    /datasets/{name}           {"points": [[…], …]}  (or text/csv body)
+//	GET    /datasets                  list registered datasets
+//	DELETE /datasets/{name}
+//	POST   /datasets/{name}/selfjoin  {"eps":0.1,"metric":"L2","algorithm":"ekdb"}
+//	POST   /datasets/{name}/range     {"point":[…],"radius":0.1}
+//	POST   /datasets/{name}/knn       {"point":[…],"k":5}
+//	POST   /join                      {"a":"x","b":"y","eps":0.1}
+//
+// Every response is JSON; errors carry {"error": "…"} with a 4xx status.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"simjoin"
+)
+
+// loadFlags collects repeated -load name=path arguments.
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		loads loadFlags
+	)
+	flag.Var(&loads, "load", "preload a dataset: name=path (repeatable)")
+	flag.Parse()
+
+	srv := newServer()
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("simjoind: -load %q: want name=path", spec)
+		}
+		ds, err := simjoin.Load(path)
+		if err != nil {
+			log.Fatalf("simjoind: loading %s: %v", path, err)
+		}
+		srv.sets[name] = &entry{ds: ds}
+		fmt.Printf("loaded %s: %d points × %d dims\n", name, ds.Len(), ds.Dims())
+	}
+	fmt.Printf("simjoind listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+}

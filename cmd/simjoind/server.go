@@ -1,0 +1,411 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"simjoin"
+)
+
+// maxBodyBytes bounds request bodies; datasets beyond this belong in files
+// loaded at startup, not in request payloads.
+const maxBodyBytes = 64 << 20
+
+// server holds the named datasets and serves join/range/KNN queries over
+// them. All handlers are safe for concurrent use: the catalog is guarded
+// by a RWMutex and datasets are immutable once registered (upload replaces
+// wholesale).
+type server struct {
+	mu   sync.RWMutex
+	sets map[string]*entry
+}
+
+// entry is one registered dataset plus its lazily built query index.
+// Appends are copy-on-write: a new Dataset replaces the pointer and the
+// index is invalidated, so in-flight queries keep reading the immutable
+// snapshot they started with.
+type entry struct {
+	mu sync.Mutex
+	ds *simjoin.Dataset
+	nn *simjoin.NeighborIndex
+}
+
+// dataset returns the current immutable snapshot.
+func (e *entry) dataset() *simjoin.Dataset {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ds
+}
+
+// index returns the entry's neighbor index, building it if stale.
+func (e *entry) index() *simjoin.NeighborIndex {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.nn == nil {
+		e.nn = simjoin.NewNeighborIndex(e.ds)
+	}
+	return e.nn
+}
+
+// appendPoints adds points copy-on-write and invalidates the index. It
+// returns the new length, or an error on a dimensionality mismatch
+// (nothing changes in that case).
+func (e *entry) appendPoints(pts [][]float64) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, p := range pts {
+		if len(p) != e.ds.Dims() {
+			return 0, fmt.Errorf("point %d has %d dims, dataset has %d", i, len(p), e.ds.Dims())
+		}
+	}
+	grown := simjoin.NewDataset(e.ds.Dims())
+	for i := 0; i < e.ds.Len(); i++ {
+		grown.Append(e.ds.Point(i))
+	}
+	for _, p := range pts {
+		grown.Append(p)
+	}
+	e.ds = grown
+	e.nn = nil
+	return e.ds.Len(), nil
+}
+
+func newServer() *server {
+	return &server{sets: make(map[string]*entry)}
+}
+
+// handler wires up the routes.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.RLock()
+		n := len(s.sets)
+		s.mu.RUnlock()
+		writeJSON(w, map[string]any{"status": "ok", "datasets": n})
+	})
+	mux.HandleFunc("GET /datasets", s.handleList)
+	mux.HandleFunc("PUT /datasets/{name}", s.handlePut)
+	mux.HandleFunc("DELETE /datasets/{name}", s.handleDelete)
+	mux.HandleFunc("POST /datasets/{name}/points", s.handleAppend)
+	mux.HandleFunc("POST /datasets/{name}/selfjoin", s.handleSelfJoin)
+	mux.HandleFunc("POST /datasets/{name}/range", s.handleRange)
+	mux.HandleFunc("POST /datasets/{name}/knn", s.handleKNN)
+	mux.HandleFunc("POST /join", s.handleJoin)
+	return mux
+}
+
+// httpError writes a JSON error with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// get fetches a dataset entry by name.
+func (s *server) get(name string) (*entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.sets[name]
+	return e, ok
+}
+
+// datasetInfo is the list/upload response shape.
+type datasetInfo struct {
+	Name string `json:"name"`
+	Len  int    `json:"len"`
+	Dims int    `json:"dims"`
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]datasetInfo, 0, len(s.sets))
+	for name, e := range s.sets {
+		ds := e.dataset()
+		out = append(out, datasetInfo{Name: name, Len: ds.Len(), Dims: ds.Dims()})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, out)
+}
+
+// putRequest is the JSON upload shape; CSV uploads use Content-Type
+// text/csv with raw rows instead.
+type putRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if strings.TrimSpace(name) == "" {
+		httpError(w, http.StatusBadRequest, "dataset name required")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var ds *simjoin.Dataset
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
+		parsed, err := simjoin.ReadCSV(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "parsing CSV: %v", err)
+			return
+		}
+		ds = parsed
+	} else {
+		var req putRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "parsing JSON: %v", err)
+			return
+		}
+		if len(req.Points) == 0 {
+			httpError(w, http.StatusBadRequest, "no points in upload")
+			return
+		}
+		for i, p := range req.Points {
+			if len(p) != len(req.Points[0]) {
+				httpError(w, http.StatusBadRequest, "point %d has %d dims, want %d", i, len(p), len(req.Points[0]))
+				return
+			}
+		}
+		ds = simjoin.FromPoints(req.Points)
+	}
+	s.mu.Lock()
+	s.sets[name] = &entry{ds: ds}
+	s.mu.Unlock()
+	writeJSON(w, datasetInfo{Name: name, Len: ds.Len(), Dims: ds.Dims()})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.sets[name]
+	delete(s.sets, name)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleAppend grows a dataset in place (POST …/points with
+// {"points": [[…], …]}); subsequent range/KNN queries see the new points
+// after a lazy index rebuild.
+func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", r.PathValue("name"))
+		return
+	}
+	var req putRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing JSON: %v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		httpError(w, http.StatusBadRequest, "no points in append")
+		return
+	}
+	n, err := e.appendPoints(req.Points)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, datasetInfo{Name: r.PathValue("name"), Len: n, Dims: e.dataset().Dims()})
+}
+
+// joinParams is the shared query shape for self- and two-set joins.
+type joinParams struct {
+	Eps       float64 `json:"eps"`
+	Metric    string  `json:"metric"`    // "L2" (default), "L1", "Linf"
+	Algorithm string  `json:"algorithm"` // default "ekdb"; "auto" allowed
+	Workers   int     `json:"workers"`
+	MaxPairs  int     `json:"max_pairs"` // truncate the response (0 = no cap)
+}
+
+func (p joinParams) options() (simjoin.Options, error) {
+	opt := simjoin.Options{Eps: p.Eps, Workers: p.Workers, Algorithm: simjoin.Algorithm(p.Algorithm)}
+	if p.Metric != "" {
+		m, err := simjoin.ParseMetric(p.Metric)
+		if err != nil {
+			return opt, err
+		}
+		opt.Metric = m
+	}
+	return opt, nil
+}
+
+// joinResponse is the join result shape.
+type joinResponse struct {
+	Pairs     [][2]int `json:"pairs"`
+	Total     int64    `json:"total"`
+	Truncated bool     `json:"truncated"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+}
+
+func toJoinResponse(res *simjoin.Result, maxPairs int) joinResponse {
+	out := joinResponse{Total: res.Stats.Results, ElapsedMS: float64(res.Stats.Elapsed.Microseconds()) / 1000}
+	pairs := res.Pairs
+	if maxPairs > 0 && len(pairs) > maxPairs {
+		pairs = pairs[:maxPairs]
+		out.Truncated = true
+	}
+	out.Pairs = make([][2]int, len(pairs))
+	for i, p := range pairs {
+		out.Pairs[i] = [2]int{p.I, p.J}
+	}
+	return out
+}
+
+func (s *server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", r.PathValue("name"))
+		return
+	}
+	var p joinParams
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&p); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	opt, err := p.options()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := simjoin.SelfJoin(e.dataset(), opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, toJoinResponse(res, p.MaxPairs))
+}
+
+// twoJoinRequest names the two sides of a cross-dataset join.
+type twoJoinRequest struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	joinParams
+}
+
+func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req twoJoinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	ea, ok := s.get(req.A)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", req.A)
+		return
+	}
+	eb, ok := s.get(req.B)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", req.B)
+		return
+	}
+	da, db := ea.dataset(), eb.dataset()
+	if da.Dims() != db.Dims() {
+		httpError(w, http.StatusBadRequest, "dimensionality mismatch: %d vs %d", da.Dims(), db.Dims())
+		return
+	}
+	opt, err := req.options()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := simjoin.Join(da, db, opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, toJoinResponse(res, req.MaxPairs))
+}
+
+// pointQuery is the range/KNN request shape.
+type pointQuery struct {
+	Point  []float64 `json:"point"`
+	Radius float64   `json:"radius"` // range queries
+	K      int       `json:"k"`      // KNN queries
+	Metric string    `json:"metric"`
+}
+
+func (q pointQuery) metric() (simjoin.Metric, error) {
+	if q.Metric == "" {
+		return simjoin.L2, nil
+	}
+	return simjoin.ParseMetric(q.Metric)
+}
+
+func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", r.PathValue("name"))
+		return
+	}
+	var q pointQuery
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&q); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	m, err := q.metric()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ds := e.dataset()
+	if len(q.Point) != ds.Dims() {
+		httpError(w, http.StatusBadRequest, "query has %d dims, dataset has %d", len(q.Point), ds.Dims())
+		return
+	}
+	if !(q.Radius > 0) {
+		httpError(w, http.StatusBadRequest, "radius must be positive")
+		return
+	}
+	idx := e.index().Range(q.Point, m, q.Radius)
+	if idx == nil {
+		idx = []int{}
+	}
+	writeJSON(w, map[string]any{"indexes": idx})
+}
+
+func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", r.PathValue("name"))
+		return
+	}
+	var q pointQuery
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&q); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	m, err := q.metric()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(q.Point) != e.dataset().Dims() {
+		httpError(w, http.StatusBadRequest, "query has %d dims, dataset has %d", len(q.Point), e.dataset().Dims())
+		return
+	}
+	if q.K < 1 {
+		httpError(w, http.StatusBadRequest, "k must be ≥ 1")
+		return
+	}
+	nbrs := e.index().KNN(q.Point, q.K, m)
+	type nb struct {
+		Index int     `json:"index"`
+		Dist  float64 `json:"dist"`
+	}
+	out := make([]nb, len(nbrs))
+	for i, n := range nbrs {
+		out[i] = nb{Index: n.Index, Dist: n.Dist}
+	}
+	writeJSON(w, map[string]any{"neighbors": out})
+}

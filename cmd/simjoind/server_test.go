@@ -1,0 +1,373 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, func()) {
+	t.Helper()
+	ts := httptest.NewServer(newServer().handler())
+	return ts, ts.Close
+}
+
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func putPoints(t *testing.T, base, name string, pts [][]float64) {
+	t.Helper()
+	resp, body := doJSON(t, http.MethodPut, base+"/datasets/"+name, map[string]any{"points": pts})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT %s: %d %v", name, resp.StatusCode, body)
+	}
+}
+
+func TestUploadListDelete(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}, {1, 1}})
+
+	resp, err := http.Get(ts.URL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0]["name"] != "a" || list[0]["len"].(float64) != 2 {
+		t.Fatalf("list = %v", list)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/datasets/a", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status %d", dresp.StatusCode)
+	}
+	dresp2, _ := http.DefaultClient.Do(req)
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE status %d", dresp2.StatusCode)
+	}
+}
+
+func TestUploadCSV(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/datasets/c", strings.NewReader("0,0\n0.5,0.5\n"))
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&info)
+	if resp.StatusCode != http.StatusOK || info["len"].(float64) != 2 || info["dims"].(float64) != 2 {
+		t.Fatalf("CSV upload: %d %v", resp.StatusCode, info)
+	}
+}
+
+func TestSelfJoinEndpoint(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}, {0.05, 0}, {0.5, 0.5}, {0.52, 0.5}, {0.9, 0.9}})
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/datasets/a/selfjoin", map[string]any{"eps": 0.1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("selfjoin: %d %v", resp.StatusCode, body)
+	}
+	pairs := body["pairs"].([]any)
+	if len(pairs) != 2 || body["total"].(float64) != 2 {
+		t.Fatalf("pairs = %v", body)
+	}
+	// Truncation.
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/datasets/a/selfjoin", map[string]any{"eps": 0.1, "max_pairs": 1})
+	if resp.StatusCode != http.StatusOK || len(body["pairs"].([]any)) != 1 || body["truncated"] != true {
+		t.Fatalf("truncated selfjoin = %v", body)
+	}
+	// Algorithm selection passes through.
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/datasets/a/selfjoin", map[string]any{"eps": 0.1, "algorithm": "grid", "metric": "L1"})
+	if resp.StatusCode != http.StatusOK || body["total"].(float64) != 2 {
+		t.Fatalf("grid/L1 selfjoin = %v", body)
+	}
+}
+
+func TestTwoSetJoinEndpoint(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}, {5, 5}})
+	putPoints(t, ts.URL, "b", [][]float64{{0.05, 0}, {9, 9}})
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/join", map[string]any{"a": "a", "b": "b", "eps": 0.1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join: %d %v", resp.StatusCode, body)
+	}
+	pairs := body["pairs"].([]any)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	got := pairs[0].([]any)
+	if got[0].(float64) != 0 || got[1].(float64) != 0 {
+		t.Fatalf("pair = %v", got)
+	}
+}
+
+func TestRangeAndKNNEndpoints(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}, {0.05, 0}, {0.5, 0.5}})
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/datasets/a/range",
+		map[string]any{"point": []float64{0, 0}, "radius": 0.06})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("range: %d %v", resp.StatusCode, body)
+	}
+	if got := body["indexes"].([]any); len(got) != 2 {
+		t.Fatalf("range indexes = %v", got)
+	}
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/datasets/a/knn",
+		map[string]any{"point": []float64{0, 0}, "k": 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("knn: %d %v", resp.StatusCode, body)
+	}
+	nbrs := body["neighbors"].([]any)
+	if len(nbrs) != 2 {
+		t.Fatalf("neighbors = %v", nbrs)
+	}
+	first := nbrs[0].(map[string]any)
+	if first["index"].(float64) != 0 || first["dist"].(float64) != 0 {
+		t.Fatalf("nearest = %v", first)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}})
+	putPoints(t, ts.URL, "b3", [][]float64{{0, 0, 0}})
+	for name, call := range map[string]func() (*http.Response, map[string]any){
+		"selfjoin missing dataset": func() (*http.Response, map[string]any) {
+			return doJSON(t, http.MethodPost, ts.URL+"/datasets/nope/selfjoin", map[string]any{"eps": 0.1})
+		},
+		"selfjoin zero eps": func() (*http.Response, map[string]any) {
+			return doJSON(t, http.MethodPost, ts.URL+"/datasets/a/selfjoin", map[string]any{})
+		},
+		"selfjoin bad metric": func() (*http.Response, map[string]any) {
+			return doJSON(t, http.MethodPost, ts.URL+"/datasets/a/selfjoin", map[string]any{"eps": 0.1, "metric": "cosine"})
+		},
+		"join dims mismatch": func() (*http.Response, map[string]any) {
+			return doJSON(t, http.MethodPost, ts.URL+"/join", map[string]any{"a": "a", "b": "b3", "eps": 0.1})
+		},
+		"join missing b": func() (*http.Response, map[string]any) {
+			return doJSON(t, http.MethodPost, ts.URL+"/join", map[string]any{"a": "a", "b": "zz", "eps": 0.1})
+		},
+		"range dims mismatch": func() (*http.Response, map[string]any) {
+			return doJSON(t, http.MethodPost, ts.URL+"/datasets/a/range", map[string]any{"point": []float64{0}, "radius": 0.1})
+		},
+		"range zero radius": func() (*http.Response, map[string]any) {
+			return doJSON(t, http.MethodPost, ts.URL+"/datasets/a/range", map[string]any{"point": []float64{0, 0}})
+		},
+		"knn zero k": func() (*http.Response, map[string]any) {
+			return doJSON(t, http.MethodPost, ts.URL+"/datasets/a/knn", map[string]any{"point": []float64{0, 0}})
+		},
+		"upload empty": func() (*http.Response, map[string]any) {
+			return doJSON(t, http.MethodPut, ts.URL+"/datasets/x", map[string]any{"points": [][]float64{}})
+		},
+		"upload ragged": func() (*http.Response, map[string]any) {
+			return doJSON(t, http.MethodPut, ts.URL+"/datasets/x", map[string]any{"points": []any{[]float64{1}, []float64{1, 2}}})
+		},
+	} {
+		resp, body := call()
+		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+			t.Errorf("%s: status %d, want 4xx", name, resp.StatusCode)
+		}
+		if _, ok := body["error"]; !ok {
+			t.Errorf("%s: no error field: %v", name, body)
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	pts := make([][]float64, 500)
+	for i := range pts {
+		pts[i] = []float64{float64(i%25) / 25, float64(i%20) / 20}
+	}
+	putPoints(t, ts.URL, "a", pts)
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := 0; q < 3; q++ {
+				resp, body := doJSON(t, http.MethodPost, ts.URL+"/datasets/a/knn",
+					map[string]any{"point": []float64{0.3, 0.3}, "k": 3})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("worker %d: %d %v", w, resp.StatusCode, body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestAppendPointsInvalidatesIndex(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}})
+	// Warm the index via a query, then append a point next to the origin.
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/datasets/a/knn",
+		map[string]any{"point": []float64{0, 0}, "k": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("knn: %d %v", resp.StatusCode, body)
+	}
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/datasets/a/points",
+		map[string]any{"points": [][]float64{{0.01, 0}, {9, 9}}})
+	if resp.StatusCode != http.StatusOK || body["len"].(float64) != 3 {
+		t.Fatalf("append: %d %v", resp.StatusCode, body)
+	}
+	// The new point must be visible in queries.
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/datasets/a/range",
+		map[string]any{"point": []float64{0, 0}, "radius": 0.05})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("range: %d %v", resp.StatusCode, body)
+	}
+	if got := body["indexes"].([]any); len(got) != 2 {
+		t.Fatalf("post-append range = %v, want origin + appended point", got)
+	}
+}
+
+func TestAppendPointsErrors(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}})
+	resp, _ := doJSON(t, http.MethodPost, ts.URL+"/datasets/a/points",
+		map[string]any{"points": [][]float64{{1, 2, 3}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("dims mismatch append: status %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/datasets/a/points",
+		map[string]any{"points": [][]float64{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty append: status %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/datasets/zzz/points",
+		map[string]any{"points": [][]float64{{1, 2}}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("append to missing dataset: status %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentAppendAndQuery hammers appends against joins and KNN
+// queries; copy-on-write snapshots must keep every response internally
+// consistent (run under -race in CI).
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	init := make([][]float64, 200)
+	for i := range init {
+		init[i] = []float64{float64(i%10) / 10, float64(i%7) / 7}
+	}
+	putPoints(t, ts.URL, "a", init)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	wg.Add(1)
+	go func() { // appender
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			resp, body := doJSON(t, http.MethodPost, ts.URL+"/datasets/a/points",
+				map[string]any{"points": [][]float64{{0.33, 0.44}}})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("append: %d %v", resp.StatusCode, body)
+				return
+			}
+		}
+		close(stop)
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, body := doJSON(t, http.MethodPost, ts.URL+"/datasets/a/selfjoin",
+					map[string]any{"eps": 0.05, "max_pairs": 10})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("selfjoin: %d %v", resp.StatusCode, body)
+					return
+				}
+				resp, body = doJSON(t, http.MethodPost, ts.URL+"/datasets/a/knn",
+					map[string]any{"point": []float64{0.3, 0.4}, "k": 3})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("knn: %d %v", resp.StatusCode, body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" || body["datasets"].(float64) != 1 {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,69 @@
+package simjoin
+
+import (
+	"io"
+
+	"simjoin/internal/dataset"
+)
+
+// Dataset is an immutable-by-convention collection of d-dimensional points
+// used as join input. Construct with FromPoints, NewDataset, or Load.
+type Dataset struct {
+	ds *dataset.Dataset
+}
+
+// NewDataset returns an empty dataset of the given dimensionality. It
+// panics if dims < 1.
+func NewDataset(dims int) *Dataset {
+	return &Dataset{ds: dataset.New(dims, 0)}
+}
+
+// FromPoints builds a dataset by copying the given points (all of one
+// dimensionality; panics otherwise or when empty).
+func FromPoints(pts [][]float64) *Dataset {
+	return &Dataset{ds: dataset.FromPoints(pts)}
+}
+
+// Append copies point p into the dataset. It panics on dimensionality
+// mismatch.
+func (d *Dataset) Append(p []float64) { d.ds.Append(p) }
+
+// Len returns the number of points.
+func (d *Dataset) Len() int { return d.ds.Len() }
+
+// Dims returns the dimensionality.
+func (d *Dataset) Dims() int { return d.ds.Dims() }
+
+// Point returns a read-only view of point i; the slice aliases internal
+// storage and must not be modified.
+func (d *Dataset) Point(i int) []float64 { return d.ds.Point(i) }
+
+// Load reads a dataset from path: ".csv" files as comma-separated rows
+// (blank lines and '#' comments skipped), anything else in the library's
+// binary format.
+func Load(path string) (*Dataset, error) {
+	ds, err := dataset.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ds: ds}, nil
+}
+
+// Save writes the dataset to path, choosing CSV or binary by extension as
+// in Load.
+func (d *Dataset) Save(path string) error { return d.ds.SaveFile(path) }
+
+// WriteCSV writes the dataset as CSV rows.
+func (d *Dataset) WriteCSV(w io.Writer) error { return d.ds.WriteCSV(w) }
+
+// ReadCSV parses a dataset from CSV rows.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	ds, err := dataset.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{ds: ds}, nil
+}
+
+// internal exposes the underlying container to the package.
+func (d *Dataset) internal() *dataset.Dataset { return d.ds }

@@ -1,0 +1,84 @@
+package simjoin_test
+
+import (
+	"fmt"
+
+	"simjoin"
+)
+
+// ExampleSelfJoin finds all pairs of points within ε of each other.
+func ExampleSelfJoin() {
+	ds := simjoin.FromPoints([][]float64{
+		{0.0, 0.0},
+		{0.1, 0.0},
+		{0.9, 0.9},
+		{0.9, 0.95},
+	})
+	res, err := simjoin.SelfJoin(ds, simjoin.Options{Eps: 0.2})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range res.Pairs {
+		fmt.Printf("points %d and %d are within 0.2\n", p.I, p.J)
+	}
+	// Output:
+	// points 0 and 1 are within 0.2
+	// points 2 and 3 are within 0.2
+}
+
+// ExampleJoin matches points across two different sets.
+func ExampleJoin() {
+	queries := simjoin.FromPoints([][]float64{{0.5, 0.5}})
+	catalog := simjoin.FromPoints([][]float64{
+		{0.52, 0.5},
+		{0.1, 0.1},
+		{0.5, 0.48},
+	})
+	res, err := simjoin.Join(queries, catalog, simjoin.Options{
+		Eps:       0.05,
+		Algorithm: simjoin.AlgorithmGrid,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range res.Pairs {
+		fmt.Printf("query %d matches catalog item %d\n", p.I, p.J)
+	}
+	// Output:
+	// query 0 matches catalog item 0
+	// query 0 matches catalog item 2
+}
+
+// ExampleNeighborIndex_KNN answers an interactive nearest-neighbor lookup.
+func ExampleNeighborIndex_KNN() {
+	ds := simjoin.FromPoints([][]float64{
+		{0, 0}, {1, 0}, {0, 2}, {5, 5},
+	})
+	idx := simjoin.NewNeighborIndex(ds)
+	for _, n := range idx.KNN([]float64{0.2, 0}, 2, simjoin.L2) {
+		fmt.Printf("index %d at distance %.1f\n", n.Index, n.Dist)
+	}
+	// Output:
+	// index 0 at distance 0.2
+	// index 1 at distance 0.8
+}
+
+// ExampleTimeSeriesFeatures runs the DFT filter-and-refine pipeline on two
+// sequences.
+func ExampleTimeSeriesFeatures() {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{1, 2, 3, 4, 5, 6, 7, 9} // near-duplicate of a
+	feats := simjoin.TimeSeriesFeatures([][]float64{a, b}, 2)
+	res, err := simjoin.SelfJoin(feats, simjoin.Options{Eps: 1.5})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range res.Pairs {
+		// Refine the feature-space candidate in the time domain.
+		if simjoin.SeqDist(a, b) <= 1.5 {
+			fmt.Printf("sequences %d and %d are similar\n", p.I, p.J)
+		}
+	}
+	// Output:
+	// sequences 0 and 1 are similar
+}

@@ -1,0 +1,79 @@
+// Time-series similarity — the application that motivates high-dimensional
+// similarity joins. Each sequence (think a stock's daily closes or a
+// router's utilization curve) is reduced to its first k DFT coefficients;
+// an ε-join over the 2k-dimensional feature vectors yields candidate pairs
+// with NO false dismissals (the transform is distance-preserving, and
+// truncation only shrinks distances); a refinement pass in the raw time
+// domain removes the false positives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simjoin"
+)
+
+const (
+	numSeries = 2000
+	seqLen    = 128
+	dftCoeffs = 6   // feature space: 12 dimensions
+	epsilon   = 4.0 // raw-sequence Euclidean threshold
+)
+
+func main() {
+	// Random walks stand in for market/telemetry traces. The generator
+	// plants 50 near-duplicate pairs so there is something to find.
+	series := simjoin.RandomWalks(numSeries, seqLen, 7)
+	for i := 0; i < 50; i++ {
+		dup := make([]float64, seqLen)
+		copy(dup, series[i])
+		for t := range dup {
+			dup[t] += 0.02 * float64(t%3)
+		}
+		series = append(series, dup)
+	}
+
+	// Filter: ε-join in DFT feature space.
+	features := simjoin.TimeSeriesFeatures(series, dftCoeffs)
+	res, err := simjoin.SelfJoin(features, simjoin.Options{Eps: epsilon})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Refine: exact distance on the raw sequences.
+	var confirmed []simjoin.Pair
+	for _, p := range res.Pairs {
+		if simjoin.SeqDist(series[p.I], series[p.J]) <= epsilon {
+			confirmed = append(confirmed, p)
+		}
+	}
+
+	fmt.Printf("%d sequences of length %d → %d-dim DFT features\n",
+		len(series), seqLen, features.Dims())
+	fmt.Printf("filter step: %d candidate pairs (join took %s)\n",
+		len(res.Pairs), res.Stats.Elapsed)
+	fmt.Printf("refine step: %d true pairs within ε=%g\n", len(confirmed), float64(epsilon))
+	if len(res.Pairs) > 0 {
+		fmt.Printf("false-positive ratio of the DFT filter: %.1f%%\n",
+			100*float64(len(res.Pairs)-len(confirmed))/float64(len(res.Pairs)))
+	}
+
+	// Every planted near-duplicate must have been recovered — the filter
+	// cannot dismiss a true pair.
+	found := map[simjoin.Pair]bool{}
+	for _, p := range confirmed {
+		found[p] = true
+	}
+	missing := 0
+	for i := 0; i < 50; i++ {
+		if simjoin.SeqDist(series[i], series[numSeries+i]) <= epsilon &&
+			!found[simjoin.Pair{I: i, J: numSeries + i}] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		log.Fatalf("%d planted pairs missed — lower-bounding violated (bug)", missing)
+	}
+	fmt.Println("all planted near-duplicates recovered (no false dismissals) ✓")
+}

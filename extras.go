@@ -1,0 +1,138 @@
+package simjoin
+
+import (
+	"fmt"
+
+	"simjoin/internal/dft"
+	"simjoin/internal/join"
+	"simjoin/internal/kdtree"
+	"simjoin/internal/rtree"
+	"simjoin/internal/synth"
+)
+
+// Synthetic generates one of the library's synthetic workloads —
+// "uniform", "clustered", "correlated" or "zipf" — with n points of the
+// given dimensionality, deterministically for a seed. These are the same
+// generators the benchmark harness sweeps.
+func Synthetic(kind string, n, dims int, seed int64) (*Dataset, error) {
+	dist, err := synth.ParseDistribution(kind)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 || dims <= 0 {
+		return nil, fmt.Errorf("simjoin: invalid synthetic shape %dx%d", n, dims)
+	}
+	return &Dataset{ds: synth.Generate(synth.Config{N: n, Dims: dims, Seed: seed, Dist: dist})}, nil
+}
+
+// SyntheticKinds lists the accepted Synthetic kind names.
+func SyntheticKinds() []string {
+	out := make([]string, 0, 4)
+	for _, d := range synth.AllDistributions() {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// RandomWalks generates n random-walk time sequences of the given length —
+// the stand-in for the stock/utilization traces of the time-series
+// application.
+func RandomWalks(n, length int, seed int64) [][]float64 {
+	return synth.RandomWalks(n, length, 1, seed)
+}
+
+// TimeSeriesFeatures maps equal-length sequences to their first k DFT
+// coefficients (2k real dimensions each). Euclidean distance between
+// feature vectors never exceeds the distance between the raw sequences, so
+// an ε-join in feature space yields a candidate set with no false
+// dismissals; refine candidates with SeqDist.
+func TimeSeriesFeatures(series [][]float64, k int) *Dataset {
+	return &Dataset{ds: dft.FeatureDataset(series, k)}
+}
+
+// SeqDist returns the Euclidean distance between two equal-length
+// sequences — the refinement test of the DFT filter-and-refine pipeline.
+func SeqDist(a, b []float64) float64 { return dft.SeqDist(a, b) }
+
+// SlidingFeatures maps every length-window subsequence of series (stride
+// 1) to its first k DFT coefficients using the O(k)-per-step sliding-DFT
+// recurrence — the subsequence-matching counterpart of
+// TimeSeriesFeatures. Each row lower-bounds its window's distances just
+// like whole-sequence features.
+func SlidingFeatures(series []float64, window, k int) [][]float64 {
+	return dft.SlidingFeatures(series, window, k)
+}
+
+// SubsequenceMatches returns the start offsets of every length-len(query)
+// window of series within eps (Euclidean) of query, using the sliding-DFT
+// filter with k coefficients plus exact refinement — no false dismissals.
+func SubsequenceMatches(series, query []float64, k int, eps float64) []int {
+	return dft.SubsequenceMatches(series, query, k, eps)
+}
+
+// NeighborIndex answers repeated ε-range queries over one dataset (backed
+// by a k-d tree). Use it when the workload is point-at-a-time lookups
+// rather than a full join.
+type NeighborIndex struct {
+	t *kdtree.Tree
+}
+
+// NewNeighborIndex builds a range-query index over ds. It panics on an
+// empty dataset.
+func NewNeighborIndex(ds *Dataset) *NeighborIndex {
+	return &NeighborIndex{t: kdtree.Build(ds.internal(), 0)}
+}
+
+// Range returns the indexes of every point within eps of q under the given
+// metric.
+func (x *NeighborIndex) Range(q []float64, metric Metric, eps float64) []int {
+	var out []int
+	x.t.Range(q, metric.internal(), eps, nil, func(i int) { out = append(out, i) })
+	return out
+}
+
+// Neighbor is one k-nearest-neighbor result: a point index and its
+// distance from the query.
+type Neighbor struct {
+	Index int
+	Dist  float64
+}
+
+// KNN returns the k nearest points to q in ascending distance order (ties
+// broken by index).
+func (x *NeighborIndex) KNN(q []float64, k int, metric Metric) []Neighbor {
+	return toPublicNeighbors(x.t.KNN(q, k, metric.internal(), nil))
+}
+
+func toPublicNeighbors(in []join.Neighbor) []Neighbor {
+	out := make([]Neighbor, len(in))
+	for i, n := range in {
+		out[i] = Neighbor{Index: n.Index, Dist: n.Dist}
+	}
+	return out
+}
+
+// KNNJoin returns, for every point of a, its k nearest neighbors in b
+// (ascending distance), parallelized across workers goroutines (≤ 0 uses
+// one per CPU). It returns an error on shape mismatches instead of
+// panicking, matching the other public entry points.
+func KNNJoin(a, b *Dataset, k, workers int, metric Metric) ([][]Neighbor, error) {
+	if a.Dims() != b.Dims() {
+		return nil, fmt.Errorf("simjoin: KNN join over %d-dim and %d-dim sets", a.Dims(), b.Dims())
+	}
+	if b.Len() == 0 {
+		return nil, fmt.Errorf("simjoin: KNN join against an empty set")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("simjoin: KNN join with k=%d", k)
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	raw := rtree.KNNJoin(a.internal(), b.internal(), k, workers, metric.internal(), nil)
+	out := make([][]Neighbor, len(raw))
+	for i, row := range raw {
+		out[i] = toPublicNeighbors(row)
+	}
+	return out, nil
+}

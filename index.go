@@ -1,0 +1,93 @@
+package simjoin
+
+import (
+	"fmt"
+
+	"simjoin/internal/core"
+	"simjoin/internal/pairs"
+	"simjoin/internal/stats"
+)
+
+// Index is a reusable ε-kdB tree over one dataset: build once at the
+// largest threshold of interest, then run any number of self-joins and
+// range queries at that ε or below, and keep the index current with
+// Insert/Delete as the dataset evolves. The paper's core structure,
+// exposed for callers whose workload is not a single one-shot join.
+type Index struct {
+	ds  *Dataset
+	eps float64
+	t   *core.Tree
+}
+
+// NewIndex builds an index over ds for thresholds up to eps. LeafThreshold
+// and BiasedSplit from opt tune the build; other options are ignored here
+// and supplied per query instead.
+func NewIndex(ds *Dataset, eps float64, opt Options) (*Index, error) {
+	if !(eps > 0) {
+		return nil, fmt.Errorf("simjoin: index eps must be positive, got %g", eps)
+	}
+	cfg := core.Config{LeafThreshold: opt.LeafThreshold, BiasedSplit: opt.BiasedSplit}
+	return &Index{ds: ds, eps: eps, t: core.Build(ds.internal(), eps, cfg)}, nil
+}
+
+// Eps returns the largest threshold the index supports.
+func (x *Index) Eps() float64 { return x.eps }
+
+// Len returns the number of points in the underlying dataset.
+func (x *Index) Len() int { return x.ds.Len() }
+
+// SelfJoin reports every unordered pair within opt.Eps (which must not
+// exceed the index's ε) exactly once with I < J. opt.Workers > 1 runs the
+// stripe-parallel variant.
+func (x *Index) SelfJoin(opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if opt.Eps > x.eps {
+		return nil, fmt.Errorf("simjoin: query eps %g exceeds index eps %g; rebuild with a larger threshold", opt.Eps, x.eps)
+	}
+	var counters stats.Counters
+	iopt := opt.toInternal(&counters)
+	watch := stats.Start()
+	var collected []pairs.Pair
+	if opt.Workers > 1 {
+		sh := pairs.NewSharded(true)
+		x.t.SelfJoinParallel(iopt, sh.Handle)
+		collected = sh.Merged()
+	} else {
+		col := &pairs.Collector{Canonical: true}
+		x.t.SelfJoin(iopt, col)
+		collected = col.Sorted()
+	}
+	return buildResult(collected, counters.Snapshot(), watch.Elapsed(), opt), nil
+}
+
+// Range returns the indexes of every point within radius (≤ the index's ε)
+// of q under the given metric.
+func (x *Index) Range(q []float64, metric Metric, radius float64) ([]int, error) {
+	if len(q) != x.ds.Dims() {
+		return nil, fmt.Errorf("simjoin: query of dimension %d against %d-dim index", len(q), x.ds.Dims())
+	}
+	if !(radius > 0) || radius > x.eps {
+		return nil, fmt.Errorf("simjoin: query radius %g outside (0, %g]", radius, x.eps)
+	}
+	var out []int
+	x.t.RangeQuery(q, metric.internal(), radius, nil, func(i int) { out = append(out, i) })
+	return out, nil
+}
+
+// Insert appends point p to the dataset and indexes it, returning its
+// index.
+func (x *Index) Insert(p []float64) (int, error) {
+	if len(p) != x.ds.Dims() {
+		return 0, fmt.Errorf("simjoin: inserting %d-dim point into %d-dim index", len(p), x.ds.Dims())
+	}
+	x.ds.Append(p)
+	i := x.ds.Len() - 1
+	x.t.Insert(i)
+	return i, nil
+}
+
+// Delete removes point i from the index (its slot in the dataset remains,
+// so other indexes stay stable). It reports whether the point was indexed.
+func (x *Index) Delete(i int) bool { return x.t.Delete(i) }

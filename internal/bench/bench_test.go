@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"simjoin/internal/vec"
+)
+
+// TestAllExperimentsQuick runs the complete reproduction suite at quick
+// scale: every table must materialize with plausible rows (this is also
+// what keeps cmd/repro from rotting).
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, ex := range append(All(), Extensions()...) {
+		ex := ex
+		t.Run(ex.ID, func(t *testing.T) {
+			tb := ex.Run(true)
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s: empty table", ex.ID)
+			}
+			if len(tb.Headers) < 2 {
+				t.Fatalf("%s: degenerate headers %v", ex.ID, tb.Headers)
+			}
+			out := tb.String()
+			if !strings.Contains(out, tb.Headers[0]) {
+				t.Fatalf("%s: render lost headers", ex.ID)
+			}
+		})
+	}
+}
+
+// TestAlgorithmsAgreeAtBenchScale reruns the agreement check at a bench
+// workload: every algorithm must report the same pair count F1 will time.
+func TestAlgorithmsAgreeAtBenchScale(t *testing.T) {
+	ds := Uniform(2000, 8, 0xF1)
+	var want int64 = -1
+	for _, algo := range AlgoNames {
+		r := RunSelf(algo, ds, vec.L2, 0.3)
+		if want == -1 {
+			want = r.Pairs
+			continue
+		}
+		if r.Pairs != want {
+			t.Errorf("%s: %d pairs, want %d", algo, r.Pairs, want)
+		}
+	}
+	if want <= 0 {
+		t.Error("degenerate workload: no pairs")
+	}
+}
+
+func TestCalibrateEps(t *testing.T) {
+	for _, d := range []int{2, 8, 16} {
+		ds := Uniform(4000, d, 7)
+		eps := CalibrateEps(ds, vec.L2, 8000)
+		r := RunSelf("ekdb", ds, vec.L2, eps)
+		// Calibration is statistical (subsampled); accept a 4× band.
+		if r.Pairs < 2000 || r.Pairs > 32000 {
+			t.Errorf("d=%d: calibrated eps %g yields %d pairs, want ≈8000", d, eps, r.Pairs)
+		}
+		if d > 2 {
+			prev := CalibrateEps(Uniform(4000, d-1, 7), vec.L2, 8000)
+			if eps <= prev*0.5 {
+				t.Errorf("d=%d: eps %g did not grow with dimensionality (prev %g)", d, eps, prev)
+			}
+		}
+	}
+}
+
+func TestRunPanicsOnUnknownAlgo(t *testing.T) {
+	ds := Uniform(10, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown algorithm did not panic")
+		}
+	}()
+	RunSelf("lsh", ds, vec.L2, 0.1)
+}

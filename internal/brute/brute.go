@@ -1,0 +1,59 @@
+// Package brute implements the nested-loop similarity join. It is the
+// correctness oracle every other algorithm is tested against, the small-N
+// baseline of the evaluation (where its lack of build cost wins), and the
+// refinement kernel other algorithms reuse for leaf-level work.
+package brute
+
+import (
+	"simjoin/internal/dataset"
+	"simjoin/internal/join"
+	"simjoin/internal/pairs"
+	"simjoin/internal/vec"
+)
+
+// SelfJoin reports every unordered pair {i, j}, i < j, of points in ds with
+// dist ≤ opt.Eps, emitting each exactly once with i < j.
+func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
+	opt.MustValidate()
+	c := opt.Stats()
+	t := opt.Threshold()
+	n := ds.Len()
+	var cand, comps, res int64
+	for i := 0; i < n; i++ {
+		pi := ds.Point(i)
+		for j := i + 1; j < n; j++ {
+			cand++
+			comps++
+			if vec.Within(opt.Metric, pi, ds.Point(j), t) {
+				res++
+				sink.Emit(i, j)
+			}
+		}
+	}
+	c.AddCandidates(cand)
+	c.AddDistComps(comps)
+	c.AddResults(res)
+}
+
+// Join reports every pair (i, j) with dist(a[i], b[j]) ≤ opt.Eps.
+func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
+	opt.MustValidate()
+	c := opt.Stats()
+	t := opt.Threshold()
+	na, nb := a.Len(), b.Len()
+	var cand, comps, res int64
+	for i := 0; i < na; i++ {
+		pi := a.Point(i)
+		for j := 0; j < nb; j++ {
+			cand++
+			comps++
+			if vec.Within(opt.Metric, pi, b.Point(j), t) {
+				res++
+				sink.Emit(i, j)
+			}
+		}
+	}
+	c.AddCandidates(cand)
+	c.AddDistComps(comps)
+	c.AddResults(res)
+}

@@ -1,0 +1,147 @@
+package brute
+
+import (
+	"math"
+	"testing"
+
+	"simjoin/internal/dataset"
+	"simjoin/internal/join"
+	"simjoin/internal/pairs"
+	"simjoin/internal/stats"
+	"simjoin/internal/vec"
+)
+
+// reference computes the self-join answer with straight-line code fully
+// independent of the package under test (no shared kernels).
+func referenceSelf(ds *dataset.Dataset, metric vec.Metric, eps float64) []pairs.Pair {
+	var out []pairs.Pair
+	for i := 0; i < ds.Len(); i++ {
+		for j := i + 1; j < ds.Len(); j++ {
+			a, b := ds.Point(i), ds.Point(j)
+			var d float64
+			switch metric {
+			case vec.L2:
+				for k := range a {
+					d += (a[k] - b[k]) * (a[k] - b[k])
+				}
+				d = math.Sqrt(d)
+			case vec.L1:
+				for k := range a {
+					d += math.Abs(a[k] - b[k])
+				}
+			default:
+				for k := range a {
+					d = math.Max(d, math.Abs(a[k]-b[k]))
+				}
+			}
+			if d <= eps {
+				out = append(out, pairs.Pair{I: int32(i), J: int32(j)})
+			}
+		}
+	}
+	return out
+}
+
+func TestSelfJoinKnownCase(t *testing.T) {
+	ds := dataset.FromPoints([][]float64{
+		{0, 0}, {0.5, 0}, {3, 3}, {3.2, 3}, {10, 10},
+	})
+	for _, metric := range []vec.Metric{vec.L2, vec.L1, vec.Linf} {
+		col := &pairs.Collector{Canonical: true}
+		SelfJoin(ds, join.Options{Metric: metric, Eps: 0.6}, col)
+		want := referenceSelf(ds, metric, 0.6)
+		if !pairs.Equal(col.Sorted(), want) {
+			t.Errorf("%v: %s", metric, pairs.Diff(col.Pairs, want))
+		}
+		// Under every metric here, {0,1} and {2,3} are within 0.6.
+		if len(col.Pairs) != 2 {
+			t.Errorf("%v: %d pairs, want 2", metric, len(col.Pairs))
+		}
+	}
+}
+
+func TestSelfJoinOrderingContract(t *testing.T) {
+	ds := dataset.FromPoints([][]float64{{0}, {0.1}, {0.2}})
+	col := &pairs.Collector{}
+	SelfJoin(ds, join.Options{Metric: vec.L2, Eps: 1}, col)
+	for _, p := range col.Pairs {
+		if p.I >= p.J {
+			t.Errorf("pair (%d,%d) not emitted with i<j", p.I, p.J)
+		}
+	}
+	if len(col.Pairs) != 3 {
+		t.Errorf("%d pairs, want 3", len(col.Pairs))
+	}
+}
+
+func TestJoinTwoSets(t *testing.T) {
+	a := dataset.FromPoints([][]float64{{0, 0}, {5, 5}})
+	b := dataset.FromPoints([][]float64{{0.1, 0}, {5, 5.1}, {100, 100}})
+	col := &pairs.Collector{}
+	Join(a, b, join.Options{Metric: vec.L2, Eps: 0.2}, col)
+	want := []pairs.Pair{{I: 0, J: 0}, {I: 1, J: 1}}
+	if !pairs.Equal(col.Sorted(), want) {
+		t.Errorf("got %v, want %v", col.Pairs, want)
+	}
+}
+
+func TestJoinIsDirectional(t *testing.T) {
+	// (i, j) must mean (a-index, b-index), not a canonical pair.
+	a := dataset.FromPoints([][]float64{{0}})
+	b := dataset.FromPoints([][]float64{{10}, {10}, {0.05}})
+	col := &pairs.Collector{}
+	Join(a, b, join.Options{Metric: vec.L2, Eps: 0.1}, col)
+	if len(col.Pairs) != 1 || col.Pairs[0] != (pairs.Pair{I: 0, J: 2}) {
+		t.Errorf("got %v, want [(0,2)]", col.Pairs)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	ds := dataset.FromPoints([][]float64{{0}, {1}, {2}, {3}})
+	var c stats.Counters
+	var sink pairs.Counter
+	SelfJoin(ds, join.Options{Metric: vec.L2, Eps: 1, Counters: &c}, &sink)
+	s := c.Snapshot()
+	if s.Candidates != 6 || s.DistComps != 6 { // C(4,2)
+		t.Errorf("candidates/distcomps = %d/%d, want 6/6", s.Candidates, s.DistComps)
+	}
+	if s.Results != 3 || sink.N() != 3 {
+		t.Errorf("results = %d/%d, want 3", s.Results, sink.N())
+	}
+}
+
+func TestInvalidOptionsPanics(t *testing.T) {
+	ds := dataset.FromPoints([][]float64{{0}})
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid options did not panic")
+		}
+	}()
+	SelfJoin(ds, join.Options{}, &pairs.Counter{})
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	single := dataset.FromPoints([][]float64{{1, 2}})
+	var sink pairs.Counter
+	SelfJoin(single, join.Options{Metric: vec.L2, Eps: 1}, &sink)
+	if sink.N() != 0 {
+		t.Error("singleton self-join produced pairs")
+	}
+	empty := dataset.New(2, 0)
+	SelfJoin(empty, join.Options{Metric: vec.L2, Eps: 1}, &sink)
+	Join(empty, single, join.Options{Metric: vec.L2, Eps: 1}, &sink)
+	Join(single, empty, join.Options{Metric: vec.L2, Eps: 1}, &sink)
+	if sink.N() != 0 {
+		t.Error("empty joins produced pairs")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	// Coincident points are pairs at distance 0 and must all be reported.
+	ds := dataset.FromPoints([][]float64{{1, 1}, {1, 1}, {1, 1}})
+	var sink pairs.Counter
+	SelfJoin(ds, join.Options{Metric: vec.L2, Eps: 0.001}, &sink)
+	if sink.N() != 3 {
+		t.Errorf("coincident triple produced %d pairs, want 3", sink.N())
+	}
+}

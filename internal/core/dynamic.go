@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"simjoin/internal/stats"
+	"simjoin/internal/vec"
+)
+
+// Insert indexes point i of the tree's dataset (which must already contain
+// it). The point routes down the existing stripe grid; a leaf that
+// overflows the threshold is re-striped in place. Points outside the
+// tree's frame are clamped into the edge stripes — that only costs
+// selectivity, never correctness, because clamping merges stripes rather
+// than separating them.
+//
+// The tree must have been built with a non-empty frame (Build over a
+// non-empty dataset, or BuildWithBox): an empty frame has no stripe grid
+// to route through.
+func (t *Tree) Insert(i int) {
+	if t.box.Empty() {
+		panic("core: Insert into a tree with an empty frame; build with BuildWithBox to pre-size the stripe grid")
+	}
+	if i < 0 || i >= t.ds.Len() {
+		panic(fmt.Sprintf("core: Insert of index %d outside dataset of %d points", i, t.ds.Len()))
+	}
+	t.root = t.insert(t.root, int32(i), 0)
+}
+
+func (t *Tree) insert(n *node, i int32, depth int) *node {
+	if n == nil {
+		return t.build([]int32{i}, depth)
+	}
+	if n.leaf() {
+		// Keep the leaf sorted on the sweep dimension.
+		v := t.ds.Point(int(i))[t.sweepDim]
+		at := sort.Search(len(n.pts), func(k int) bool {
+			return t.ds.Point(int(n.pts[k]))[t.sweepDim] > v
+		})
+		n.pts = append(n.pts, 0)
+		copy(n.pts[at+1:], n.pts[at:])
+		n.pts[at] = i
+		if len(n.pts) > t.leafThreshold && depth < t.ds.Dims() {
+			// Re-stripe the overflowing leaf; build re-counts it.
+			t.nodes--
+			t.leaves--
+			return t.build(n.pts, depth)
+		}
+		return n
+	}
+	dim := t.order[depth]
+	s := t.stripeOf(t.ds.Point(int(i))[dim], dim)
+	n.children[s] = t.insert(n.children[s], i, depth+1)
+	return n
+}
+
+// Delete removes point index i from the tree, returning whether it was
+// indexed. Emptied leaves are unlinked; internal nodes whose stripes all
+// empty collapse to nil so joins and queries never descend dead branches.
+// The dataset itself is untouched (indexes of other points must stay
+// stable), so the deleted point's storage is simply no longer referenced.
+func (t *Tree) Delete(i int) bool {
+	if t.root == nil {
+		return false
+	}
+	if i < 0 || i >= t.ds.Len() {
+		return false
+	}
+	var removed bool
+	t.root, removed = t.remove(t.root, int32(i), 0)
+	return removed
+}
+
+func (t *Tree) remove(n *node, i int32, depth int) (*node, bool) {
+	if n.leaf() {
+		for at, idx := range n.pts {
+			if idx != i {
+				continue
+			}
+			n.pts = append(n.pts[:at], n.pts[at+1:]...)
+			if len(n.pts) == 0 {
+				t.nodes--
+				t.leaves--
+				return nil, true
+			}
+			return n, true
+		}
+		return n, false
+	}
+	dim := t.order[depth]
+	s := t.stripeOf(t.ds.Point(int(i))[dim], dim)
+	child := n.children[s]
+	if child == nil {
+		return n, false
+	}
+	next, removed := t.remove(child, i, depth+1)
+	if !removed {
+		return n, false
+	}
+	n.children[s] = next
+	if next == nil {
+		// Collapse the node if every stripe is now empty.
+		for _, c := range n.children {
+			if c != nil {
+				return n, true
+			}
+		}
+		t.nodes--
+		return nil, true
+	}
+	return n, true
+}
+
+// RangeQuery visits every indexed point within radius of q under the given
+// metric. The radius must not exceed the ε the tree was built for: the
+// stripe grid only guarantees that closer points sit in adjacent stripes.
+func (t *Tree) RangeQuery(q []float64, metric vec.Metric, radius float64, counters *stats.Counters, visit func(i int)) {
+	if len(q) != t.ds.Dims() {
+		panic(fmt.Sprintf("core: query of dimension %d against %d-dim tree", len(q), t.ds.Dims()))
+	}
+	if !(radius > 0) || radius > t.eps {
+		panic(fmt.Sprintf("core: query radius %g outside (0, %g]; the stripe grid is built for ε=%g", radius, t.eps, t.eps))
+	}
+	if t.root == nil {
+		return
+	}
+	th := vec.Threshold(metric, radius)
+	var visits, comps int64
+	var rec func(n *node, depth int)
+	rec = func(n *node, depth int) {
+		visits++
+		if n.leaf() {
+			v := q[t.sweepDim]
+			// The leaf is sweep-sorted: only the window [v−r, v+r] can hit.
+			lo := sort.Search(len(n.pts), func(k int) bool {
+				return t.ds.Point(int(n.pts[k]))[t.sweepDim] >= v-radius
+			})
+			for _, i := range n.pts[lo:] {
+				p := t.ds.Point(int(i))
+				if p[t.sweepDim] > v+radius {
+					break
+				}
+				comps++
+				if vec.Within(metric, q, p, th) {
+					visit(int(i))
+				}
+			}
+			return
+		}
+		dim := t.order[depth]
+		s := t.stripeOf(q[dim], dim)
+		for _, cs := range [3]int{s - 1, s, s + 1} {
+			if cs < 0 || cs >= len(n.children) || n.children[cs] == nil {
+				continue
+			}
+			rec(n.children[cs], depth+1)
+		}
+	}
+	rec(t.root, 0)
+	if counters != nil {
+		counters.AddNodeVisits(visits)
+		counters.AddDistComps(comps)
+		counters.AddCandidates(comps)
+	}
+}

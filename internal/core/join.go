@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+
+	"simjoin/internal/dataset"
+	"simjoin/internal/join"
+	"simjoin/internal/pairs"
+	"simjoin/internal/vec"
+)
+
+// SelfJoin builds an ε-kdB tree with default configuration over ds and
+// reports every unordered pair within opt.Eps once. It is the convenience
+// entry point with the shared algorithm signature; reuse a Tree directly
+// when running several joins over one build.
+func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
+	opt.MustValidate()
+	if ds.Len() < 2 {
+		return
+	}
+	t := Build(ds, opt.Eps, Config{})
+	t.SelfJoin(opt, sink)
+}
+
+// Join builds two frame-aligned ε-kdB trees (over the joint bounding box)
+// and reports every (a-index, b-index) pair within opt.Eps.
+func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
+	opt.MustValidate()
+	if a.Len() == 0 || b.Len() == 0 {
+		return
+	}
+	box := a.Bounds()
+	box.ExtendBox(b.Bounds())
+	ta := BuildWithBox(a, opt.Eps, box, Config{})
+	tb := BuildWithBox(b, opt.Eps, box, Config{})
+	JoinTrees(ta, tb, opt, sink)
+}
+
+// SelfJoin runs the similarity self-join on a built tree. opt.Eps must not
+// exceed the ε the tree was built for: stripes of width build-ε confine
+// candidates for any smaller threshold too, so one tree built at the
+// largest ε of interest serves every tighter query. A larger opt.Eps would
+// silently lose pairs, so it panics.
+func (t *Tree) SelfJoin(opt join.Options, sink pairs.Sink) {
+	opt.MustValidate()
+	if opt.Eps > t.eps {
+		panic(fmt.Sprintf("core: join eps %g exceeds build eps %g (stripe adjacency would lose pairs)", opt.Eps, t.eps))
+	}
+	if t.root == nil {
+		return
+	}
+	j := t.newJoiner(opt, sink)
+	j.selfNode(t.root, 0)
+	j.flush(opt)
+}
+
+// JoinTrees runs the two-set join over trees that share a frame (same ε,
+// same box, same split order — build both with BuildWithBox over the joint
+// bounding box). Pairs are emitted as (ta-index, tb-index).
+func JoinTrees(ta, tb *Tree, opt join.Options, sink pairs.Sink) {
+	opt.MustValidate()
+	if opt.Eps > ta.eps {
+		panic(fmt.Sprintf("core: join eps %g exceeds build eps %g (stripe adjacency would lose pairs)", opt.Eps, ta.eps))
+	}
+	if !ta.sameFrame(tb) {
+		panic("core: joining trees with different frames (eps/box/order); build both with BuildWithBox over the joint bounding box")
+	}
+	if ta.root == nil || tb.root == nil {
+		return
+	}
+	j := ta.newJoiner(opt, sink)
+	j.dsB = tb.ds
+	j.crossNodes(ta.root, tb.root, 0, false)
+	j.flush(opt)
+}
+
+// joiner carries the state of one join run. Side A always refers to the
+// first dataset; the flip flag on recursion tracks orientation so emitted
+// pairs stay (a-index, b-index) even when the traversal descends the B tree
+// while holding a flat A point list.
+type joiner struct {
+	dsA, dsB *dataset.Dataset
+	metric   vec.Metric
+	eps      float64 // stripe width: the ε the tree was built with
+	qeps     float64 // query threshold: ≤ eps; drives windows and tests
+	th       float64
+	sweepDim int
+	order    []int
+	frameLo  []float64 // stripe-grid origin per dimension (shared frame)
+	sink     pairs.Sink
+
+	// bucketScratch[depth] is the stable-bucketing buffer for ptsVsNode
+	// calls at that depth. The traversal is depth-first, so one buffer per
+	// depth is never live twice; reusing them removes the dominant join
+	// allocation.
+	bucketScratch [][]int32
+
+	cand, res, visits int64
+}
+
+// scratchAt returns the depth's bucketing buffer with capacity ≥ n.
+func (j *joiner) scratchAt(depth, n int) []int32 {
+	for len(j.bucketScratch) <= depth {
+		j.bucketScratch = append(j.bucketScratch, nil)
+	}
+	if cap(j.bucketScratch[depth]) < n {
+		j.bucketScratch[depth] = make([]int32, n)
+	}
+	return j.bucketScratch[depth][:n]
+}
+
+func (j *joiner) flush(opt join.Options) {
+	c := opt.Stats()
+	c.AddCandidates(j.cand)
+	c.AddDistComps(j.cand)
+	c.AddResults(j.res)
+	c.AddNodeVisits(j.visits)
+}
+
+// selfNode joins a subtree with itself: every stripe self-joins, and every
+// adjacent stripe pair cross-joins exactly once.
+func (j *joiner) selfNode(n *node, depth int) {
+	j.visits++
+	if n.leaf() {
+		j.leafSelf(n.pts)
+		return
+	}
+	for s, c := range n.children {
+		if c == nil {
+			continue
+		}
+		j.selfNode(c, depth+1)
+		if s+1 < len(n.children) && n.children[s+1] != nil {
+			j.crossNodes(c, n.children[s+1], depth+1, false)
+		}
+	}
+}
+
+// crossNodes joins two distinct subtrees at the same depth. flip reports
+// that a is from the B side (so emits must swap).
+func (j *joiner) crossNodes(a, b *node, depth int, flip bool) {
+	j.visits++
+	switch {
+	case a.leaf() && b.leaf():
+		j.crossSweep(a.pts, b.pts, flip)
+	case a.leaf():
+		j.ptsVsNode(a.pts, b, depth, flip)
+	case b.leaf():
+		j.ptsVsNode(b.pts, a, depth, !flip)
+	default:
+		// Both split dimension order[depth] on the same global stripe
+		// grid: stripe s of a can only meet stripes s−1, s, s+1 of b. Each
+		// ordered adjacent stripe pair is visited exactly once: (s, s),
+		// (s, s+1) and (s+1, s) at iteration s — independently of which
+		// stripes happen to be empty.
+		ac, bc := a.children, b.children
+		for s := range ac {
+			if bc[s] != nil {
+				if ac[s] != nil {
+					j.crossNodes(ac[s], bc[s], depth+1, flip)
+				}
+				if s+1 < len(ac) && ac[s+1] != nil {
+					j.crossNodes(ac[s+1], bc[s], depth+1, flip)
+				}
+			}
+			if ac[s] != nil && s+1 < len(bc) && bc[s+1] != nil {
+				j.crossNodes(ac[s], bc[s+1], depth+1, flip)
+			}
+		}
+	}
+}
+
+// ptsVsNode joins a flat, sweep-sorted point list (whose region spans the
+// node's split dimension) against subtree n. flip reports that pts is from
+// the B side. The list is bucketed by the split dimension's stripes so each
+// child only meets the points of its own and adjacent stripes.
+func (j *joiner) ptsVsNode(pts []int32, n *node, depth int, flip bool) {
+	j.visits++
+	if n.leaf() {
+		j.crossSweep(pts, n.pts, flip)
+		return
+	}
+	ptsDS := j.dsA
+	if flip {
+		ptsDS = j.dsB
+	}
+	dim := j.order[depth]
+	s := len(n.children)
+	// Stable counting-sort bucketing into the depth's scratch buffer:
+	// bucket order preserves the sweep-dimension sort the leaf sweeps rely
+	// on, and the buffer reuse keeps this allocation-free after warm-up.
+	buf := j.scratchAt(depth, len(pts))
+	counts := make([]int32, s+1)
+	for _, i := range pts {
+		counts[j.stripeOfDim(ptsDS.Point(int(i))[dim], dim, s)+1]++
+	}
+	for st := 0; st < s; st++ {
+		counts[st+1] += counts[st]
+	}
+	cur := make([]int32, s)
+	copy(cur, counts[:s])
+	for _, i := range pts {
+		st := j.stripeOfDim(ptsDS.Point(int(i))[dim], dim, s)
+		buf[cur[st]] = i
+		cur[st]++
+	}
+	bucket := func(st int) []int32 {
+		return buf[counts[st]:counts[st+1]:counts[st+1]]
+	}
+	for st, c := range n.children {
+		if c == nil {
+			continue
+		}
+		for _, bs := range [3]int{st - 1, st, st + 1} {
+			if bs < 0 || bs >= s || counts[bs+1] == counts[bs] {
+				continue
+			}
+			j.ptsVsNode(bucket(bs), c, depth+1, flip)
+		}
+	}
+}
+
+// stripeOfDim mirrors Tree.stripeOf using the joiner's frame (both trees
+// share it).
+func (j *joiner) stripeOfDim(v float64, dim, stripes int) int {
+	s := int((v - j.boxLo(dim)) / j.eps)
+	if s < 0 {
+		s = 0
+	}
+	if s > stripes-1 {
+		s = stripes - 1
+	}
+	return s
+}
+
+func (j *joiner) boxLo(dim int) float64 { return j.frameLo[dim] }
+
+// leafSelf reports in-range pairs inside one sweep-sorted leaf: for each
+// point, only the followers within the ε sweep window are tested.
+func (j *joiner) leafSelf(pts []int32) {
+	ds := j.dsA
+	for a := 0; a < len(pts); a++ {
+		pa := ds.Point(int(pts[a]))
+		x := pa[j.sweepDim]
+		for b := a + 1; b < len(pts); b++ {
+			pb := ds.Point(int(pts[b]))
+			if pb[j.sweepDim]-x > j.qeps {
+				break
+			}
+			j.cand++
+			if vec.Within(j.metric, pa, pb, j.th) {
+				j.res++
+				j.sink.Emit(int(pts[a]), int(pts[b]))
+			}
+		}
+	}
+}
+
+// crossSweep merges two sweep-sorted lists, testing only pairs whose sweep
+// coordinates differ by at most ε. flip reports that x is from the B side.
+func (j *joiner) crossSweep(x, y []int32, flip bool) {
+	dsX, dsY := j.dsA, j.dsB
+	if flip {
+		dsX, dsY = j.dsB, j.dsA
+	}
+	lo := 0
+	for _, xiRaw := range x {
+		xi := int(xiRaw)
+		px := dsX.Point(xi)
+		v := px[j.sweepDim]
+		for lo < len(y) && dsY.Point(int(y[lo]))[j.sweepDim] < v-j.qeps {
+			lo++
+		}
+		for w := lo; w < len(y); w++ {
+			yi := int(y[w])
+			py := dsY.Point(yi)
+			if py[j.sweepDim]-v > j.qeps {
+				break
+			}
+			j.cand++
+			if vec.Within(j.metric, px, py, j.th) {
+				j.res++
+				if flip {
+					j.sink.Emit(yi, xi)
+				} else {
+					j.sink.Emit(xi, yi)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV: arbitrary input must never panic; accepted input must
+// round-trip exactly through WriteCSV → ReadCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("1,2\n3,4\n"))
+	f.Add([]byte("# comment\n\n1.5e-3,2\n"))
+	f.Add([]byte("NaN,Inf\n"))
+	f.Add([]byte(",\n"))
+	f.Add([]byte("1,2\n3\n"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		ds, err := ReadCSV(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV of parsed dataset failed: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of written CSV failed: %v", err)
+		}
+		// NaN breaks Equal's == comparison legitimately; compare bitwise
+		// through the binary codec instead.
+		var b1, b2 bytes.Buffer
+		if err := ds.WriteBinary(&b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := back.WriteBinary(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("CSV round trip changed the data")
+		}
+	})
+}
+
+// FuzzReadBinary: arbitrary input must never panic and must either error
+// or yield a dataset whose re-encoding parses again.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	_ = FromPoints([][]float64{{1, 2}, {3, 4}}).WriteBinary(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("SJN1"))
+	f.Add([]byte("XXXXXXXXXXXXXXXX"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		ds, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := ds.WriteBinary(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadBinary(&out); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+	})
+}

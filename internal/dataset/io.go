@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// binaryMagic identifies the library's binary point-file format:
+// "SJN1" | uint32 dims | uint64 count | count*dims little-endian float64.
+const binaryMagic = "SJN1"
+
+// WriteCSV writes the dataset as one comma-separated row per point, full
+// float64 precision.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	n := d.Len()
+	for i := 0; i < n; i++ {
+		p := d.Point(i)
+		for k, v := range p {
+			if k > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a dataset from comma-separated rows. Blank lines and lines
+// starting with '#' are skipped. All rows must agree on field count.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var ds *Dataset
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if ds == nil {
+			ds = New(len(fields), 0)
+		} else if len(fields) != ds.Dims() {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", lineNo, len(fields), ds.Dims())
+		}
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+			}
+			ds.data = append(ds.data, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if ds == nil {
+		return nil, errors.New("dataset: empty CSV input")
+	}
+	return ds, nil
+}
+
+// WriteBinary writes the dataset in the library's binary format, which is
+// roughly 3× smaller and 10× faster to parse than CSV.
+func (d *Dataset) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(d.dims))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(d.Len()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, v := range d.data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a dataset written by WriteBinary.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	dims := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	count := binary.LittleEndian.Uint64(hdr[4:12])
+	if dims < 1 || dims > 1<<20 {
+		return nil, fmt.Errorf("dataset: implausible dimensionality %d", dims)
+	}
+	const maxPoints = 1 << 40
+	if count > maxPoints {
+		return nil, fmt.Errorf("dataset: implausible point count %d", count)
+	}
+	// Cap the pre-allocation hint: the header is untrusted input, and a
+	// lying count (or huge dims) must fail with a truncation error, not an
+	// out-of-memory allocation. The bound is on total floats, since both
+	// factors come from the header; growth past it is amortized by append.
+	hint := int(count)
+	if maxHint := (1 << 22) / dims; hint > maxHint {
+		hint = maxHint
+	}
+	ds := New(dims, hint)
+	raw := make([]byte, 8*dims)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("dataset: reading point %d: %w", i, err)
+		}
+		for k := 0; k < dims; k++ {
+			ds.data = append(ds.data, math.Float64frombits(binary.LittleEndian.Uint64(raw[k*8:])))
+		}
+	}
+	return ds, nil
+}
+
+// SaveFile writes the dataset to path, choosing the codec by extension:
+// ".csv" for CSV, anything else for binary.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = d.WriteCSV(f)
+	} else {
+		err = d.WriteBinary(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LoadFile reads a dataset from path, choosing the codec by extension as in
+// SaveFile.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return ReadCSV(f)
+	}
+	return ReadBinary(f)
+}

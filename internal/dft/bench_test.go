@@ -1,0 +1,58 @@
+package dft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSeries(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func BenchmarkFFTvsNaive(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		x := benchSeries(n)
+		c := make([]complex128, n)
+		for i, v := range x {
+			c[i] = complex(v, 0)
+		}
+		b.Run("fft/n="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				FFT(c)
+			}
+		})
+		if n <= 256 {
+			b.Run("naive/n="+itoa(n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					Naive(x)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFeatures(b *testing.B) {
+	x := benchSeries(128)
+	for i := 0; i < b.N; i++ {
+		Features(x, 8)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,97 @@
+package dft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// SlidingFeatures maps every length-window subsequence of series (stride
+// 1) to its first k normalized DFT coefficients, using the sliding-DFT
+// recurrence: when the window advances one step, each coefficient updates
+// in O(1) —
+//
+//	X'_f = (X_f + (x_in − x_out)/√w) · e^{+2πif/w}
+//
+// so the whole extraction costs O(n·k) instead of O(n·w log w). This is
+// the subsequence-matching path of the time-series application: window
+// features feed an ε-join or range query exactly like whole-sequence
+// features, with the same no-false-dismissal guarantee per window.
+//
+// The result has len(series) − window + 1 rows of 2k values each
+// (FeatureDims(k)). It panics if window or k is out of range.
+func SlidingFeatures(series []float64, window, k int) [][]float64 {
+	n := len(series)
+	if window < 1 || window > n {
+		panic(fmt.Sprintf("dft: window %d out of range for series of length %d", window, n))
+	}
+	if k < 1 || k > window {
+		panic(fmt.Sprintf("dft: k=%d out of range for window %d", k, window))
+	}
+	count := n - window + 1
+	out := make([][]float64, count)
+
+	// First window: direct transform.
+	coef := Transform(series[:window])[:k]
+	cur := make([]complex128, k)
+	copy(cur, coef)
+	out[0] = coefToFeatures(cur)
+
+	// Twiddles e^{+2πif/w} for the slide update.
+	tw := make([]complex128, k)
+	for f := 0; f < k; f++ {
+		tw[f] = cmplx.Exp(complex(0, 2*math.Pi*float64(f)/float64(window)))
+	}
+	norm := 1 / math.Sqrt(float64(window))
+	// Periodic exact refresh bounds floating-point drift on long series.
+	const refreshEvery = 4096
+
+	for s := 1; s < count; s++ {
+		delta := complex((series[s+window-1]-series[s-1])*norm, 0)
+		for f := 0; f < k; f++ {
+			cur[f] = (cur[f] + delta) * tw[f]
+		}
+		if s%refreshEvery == 0 {
+			copy(cur, Transform(series[s : s+window])[:k])
+		}
+		out[s] = coefToFeatures(cur)
+	}
+	return out
+}
+
+// coefToFeatures lays out complex coefficients as the standard interleaved
+// real feature vector.
+func coefToFeatures(coef []complex128) []float64 {
+	out := make([]float64, 2*len(coef))
+	for f, c := range coef {
+		out[2*f] = real(c)
+		out[2*f+1] = imag(c)
+	}
+	return out
+}
+
+// SubsequenceMatches returns the start offsets of every window of series
+// whose distance to the query sequence is ≤ eps (Euclidean over the raw
+// window). It filters with sliding DFT features (k coefficients) and
+// refines in the time domain — false positives are discarded, false
+// dismissals cannot occur.
+func SubsequenceMatches(series, query []float64, k int, eps float64) []int {
+	w := len(query)
+	if w < 1 || w > len(series) {
+		panic(fmt.Sprintf("dft: query length %d out of range for series of length %d", w, len(series)))
+	}
+	if k < 1 || k > w {
+		panic(fmt.Sprintf("dft: k=%d out of range for query length %d", k, w))
+	}
+	qf := Features(query, k)
+	var out []int
+	for s, wf := range SlidingFeatures(series, w, k) {
+		if SeqDist(qf, wf) > eps {
+			continue // feature distance lower-bounds window distance
+		}
+		if SeqDist(series[s:s+w], query) <= eps {
+			out = append(out, s)
+		}
+	}
+	return out
+}

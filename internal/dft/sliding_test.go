@@ -1,0 +1,129 @@
+package dft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSlidingMatchesDirect: every sliding window's incremental features
+// must match a direct per-window transform to tight tolerance.
+func TestSlidingMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, w, k int }{
+		{40, 8, 3}, {200, 32, 8}, {500, 33, 5}, // non-power-of-two window too
+		{64, 64, 4}, // single window
+	} {
+		series := randSeries(rng, tc.n)
+		got := SlidingFeatures(series, tc.w, tc.k)
+		if len(got) != tc.n-tc.w+1 {
+			t.Fatalf("n=%d w=%d: %d windows, want %d", tc.n, tc.w, len(got), tc.n-tc.w+1)
+		}
+		for s, feats := range got {
+			want := Features(series[s:s+tc.w], tc.k)
+			for i := range want {
+				if math.Abs(feats[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+					t.Fatalf("n=%d w=%d window %d feature %d: %g vs %g",
+						tc.n, tc.w, s, i, feats[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSlidingDriftBounded: the periodic refresh keeps error tiny across a
+// long series (tens of thousands of incremental updates).
+func TestSlidingDriftBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	series := randSeries(rng, 20000)
+	const w, k = 64, 4
+	got := SlidingFeatures(series, w, k)
+	// Spot-check far-from-refresh windows.
+	for _, s := range []int{3000, 9999, 19000, len(got) - 1} {
+		want := Features(series[s:s+w], k)
+		for i := range want {
+			if math.Abs(got[s][i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				t.Fatalf("window %d feature %d drifted: %g vs %g", s, i, got[s][i], want[i])
+			}
+		}
+	}
+}
+
+func TestSlidingPanics(t *testing.T) {
+	series := randSeries(rand.New(rand.NewSource(3)), 16)
+	for name, fn := range map[string]func(){
+		"window too big": func() { SlidingFeatures(series, 17, 2) },
+		"window zero":    func() { SlidingFeatures(series, 0, 1) },
+		"k too big":      func() { SlidingFeatures(series, 8, 9) },
+		"query too long": func() { SubsequenceMatches(series, make([]float64, 17), 2, 1) },
+		"k over query":   func() { SubsequenceMatches(series, make([]float64, 4), 5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestSubsequenceMatchesOracle: filter-and-refine must equal the direct
+// scan for every offset.
+func TestSubsequenceMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 100 + rng.Intn(400)
+		w := 8 + rng.Intn(32)
+		series := make([]float64, n)
+		v := 0.0
+		for i := range series {
+			v += rng.NormFloat64()
+			series[i] = v
+		}
+		// Query: a window of the series itself plus noise, so matches exist.
+		start := rng.Intn(n - w)
+		query := make([]float64, w)
+		for i := range query {
+			query[i] = series[start+i] + rng.NormFloat64()*0.05
+		}
+		eps := 1.0 + rng.Float64()*2
+		k := 1 + rng.Intn(w/2+1)
+
+		got := SubsequenceMatches(series, query, k, eps)
+		var want []int
+		for s := 0; s+w <= n; s++ {
+			if SeqDist(series[s:s+w], query) <= eps {
+				want = append(want, s)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d matches, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: match offsets differ", trial)
+			}
+		}
+		if len(want) == 0 {
+			t.Fatalf("trial %d degenerate: no matches planted", trial)
+		}
+	}
+}
+
+func BenchmarkSlidingFeatures(b *testing.B) {
+	series := randSeries(rand.New(rand.NewSource(5)), 10000)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SlidingFeatures(series, 128, 8)
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for s := 0; s+128 <= len(series); s += 1 {
+				Features(series[s:s+128], 8)
+			}
+		}
+	})
+}

@@ -1,0 +1,95 @@
+// Package estimate provides cheap pre-join estimation: result-size
+// (selectivity) estimates from a brute-force join over a random subsample,
+// and a rule-based algorithm chooser calibrated from the library's own
+// evaluation (EXPERIMENTS.md). Query optimizers are the paper family's
+// first consumer of selectivity estimates; here they feed the public API's
+// "auto" algorithm option.
+package estimate
+
+import (
+	"simjoin/internal/brute"
+	"simjoin/internal/dataset"
+	"simjoin/internal/join"
+	"simjoin/internal/pairs"
+	"simjoin/internal/vec"
+)
+
+// SampleSize is the default subsample used by the estimators. Estimation
+// cost is quadratic in it; 1000 keeps it under a millisecond while the
+// relative error of the scaled count stays within a small factor for the
+// workloads the evaluation sweeps.
+const SampleSize = 1000
+
+// SelfJoinSize estimates the number of result pairs of a self-join over ds
+// at the given metric and ε: the exact count on a shuffled subsample of
+// sampleSize points (0 selects SampleSize), scaled by the squared sampling
+// ratio. The estimate is unbiased over the random subsample; expect
+// factor-level accuracy, not percent-level.
+func SelfJoinSize(ds *dataset.Dataset, m vec.Metric, eps float64, sampleSize int, seed int64) int64 {
+	if sampleSize <= 0 {
+		sampleSize = SampleSize
+	}
+	n := ds.Len()
+	if n < 2 {
+		return 0
+	}
+	sample := ds
+	scale := 1.0
+	if n > sampleSize {
+		c := ds.Clone()
+		c.Shuffle(seed)
+		sample = c.Head(sampleSize)
+		r := float64(n) / float64(sampleSize)
+		scale = r * r
+	}
+	var sink pairs.Counter
+	brute.SelfJoin(sample, join.Options{Metric: m, Eps: eps}, &sink)
+	return int64(float64(sink.N()) * scale)
+}
+
+// Selectivity estimates the fraction of all point pairs that join (in
+// [0, 1]).
+func Selectivity(ds *dataset.Dataset, m vec.Metric, eps float64, sampleSize int, seed int64) float64 {
+	n := int64(ds.Len())
+	if n < 2 {
+		return 0
+	}
+	total := n * (n - 1) / 2
+	return float64(SelfJoinSize(ds, m, eps, sampleSize, seed)) / float64(total)
+}
+
+// Choice names the algorithm the chooser picked, using the same names as
+// the public API.
+type Choice string
+
+// The chooser's possible answers.
+const (
+	ChooseBrute Choice = "brute"
+	ChooseSweep Choice = "sweep"
+	ChooseGrid  Choice = "grid"
+	ChooseEKDB  Choice = "ekdb"
+)
+
+// Choose picks a join algorithm for the workload, using rules calibrated
+// from the library's evaluation:
+//
+//   - tiny inputs (N ≤ 400): nested loop — no build cost to amortize
+//     (F1's crossover sits below N≈500);
+//   - one dimension: the sort-sweep is exactly the right structure;
+//   - very unselective joins (estimated selectivity ≥ 2%): grid — F3
+//     shows every ε-structure converging once most stripe pairs join, and
+//     the grid's flat per-cell overhead wins the tie;
+//   - everything else: the ε-kdB tree (fastest on every other row of
+//     F1–F6/T1).
+func Choose(ds *dataset.Dataset, m vec.Metric, eps float64, seed int64) Choice {
+	if ds.Len() <= 400 {
+		return ChooseBrute
+	}
+	if ds.Dims() == 1 {
+		return ChooseSweep
+	}
+	if Selectivity(ds, m, eps, 0, seed) >= 0.02 {
+		return ChooseGrid
+	}
+	return ChooseEKDB
+}

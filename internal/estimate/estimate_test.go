@@ -1,0 +1,91 @@
+package estimate
+
+import (
+	"testing"
+
+	"simjoin/internal/brute"
+	"simjoin/internal/dataset"
+	"simjoin/internal/join"
+	"simjoin/internal/pairs"
+	"simjoin/internal/synth"
+	"simjoin/internal/vec"
+)
+
+func exactSelfJoinSize(ds *dataset.Dataset, m vec.Metric, eps float64) int64 {
+	var sink pairs.Counter
+	brute.SelfJoin(ds, join.Options{Metric: m, Eps: eps}, &sink)
+	return sink.N()
+}
+
+func TestSelfJoinSizeSmallIsExact(t *testing.T) {
+	// Datasets at or below the sample size are counted exactly.
+	ds := synth.Generate(synth.Config{N: 300, Dims: 4, Seed: 1, Dist: synth.GaussianClusters})
+	for _, m := range []vec.Metric{vec.L2, vec.L1, vec.Linf} {
+		got := SelfJoinSize(ds, m, 0.1, 0, 1)
+		want := exactSelfJoinSize(ds, m, 0.1)
+		if got != want {
+			t.Errorf("%v: estimate %d, exact %d", m, got, want)
+		}
+	}
+}
+
+func TestSelfJoinSizeLargeWithinFactor(t *testing.T) {
+	// Sampled estimates must land within a factor of ~4 of the truth on
+	// well-populated workloads.
+	for _, dist := range []synth.Distribution{synth.Uniform, synth.GaussianClusters} {
+		ds := synth.Generate(synth.Config{N: 12000, Dims: 4, Seed: 2, Dist: dist})
+		eps := 0.05
+		want := exactSelfJoinSize(ds, vec.L2, eps)
+		if want < 100 {
+			t.Fatalf("%v: degenerate ground truth %d", dist, want)
+		}
+		got := SelfJoinSize(ds, vec.L2, eps, 0, 3)
+		if got < want/4 || got > want*4 {
+			t.Errorf("%v: estimate %d outside 4× band of %d", dist, got, want)
+		}
+	}
+}
+
+func TestSelfJoinSizeDegenerate(t *testing.T) {
+	if got := SelfJoinSize(dataset.New(3, 0), vec.L2, 0.1, 0, 1); got != 0 {
+		t.Errorf("empty estimate = %d", got)
+	}
+	one := dataset.FromPoints([][]float64{{1, 2, 3}})
+	if got := SelfJoinSize(one, vec.L2, 0.1, 0, 1); got != 0 {
+		t.Errorf("singleton estimate = %d", got)
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	ds := synth.Generate(synth.Config{N: 500, Dims: 2, Seed: 4, Dist: synth.Uniform})
+	tiny := Selectivity(ds, vec.L2, 0.001, 0, 1)
+	huge := Selectivity(ds, vec.L2, 5, 0, 1)
+	if tiny < 0 || tiny > 0.01 {
+		t.Errorf("tiny-eps selectivity = %g", tiny)
+	}
+	if huge < 0.99 || huge > 1.0001 {
+		t.Errorf("diameter-eps selectivity = %g, want ≈1", huge)
+	}
+	if Selectivity(dataset.New(2, 0), vec.L2, 1, 0, 1) != 0 {
+		t.Error("empty selectivity nonzero")
+	}
+}
+
+func TestChooseRules(t *testing.T) {
+	small := synth.Generate(synth.Config{N: 100, Dims: 5, Seed: 5, Dist: synth.Uniform})
+	if got := Choose(small, vec.L2, 0.1, 1); got != ChooseBrute {
+		t.Errorf("small input chose %s", got)
+	}
+	oneD := synth.Generate(synth.Config{N: 5000, Dims: 1, Seed: 6, Dist: synth.Uniform})
+	if got := Choose(oneD, vec.L2, 0.01, 1); got != ChooseSweep {
+		t.Errorf("1-D chose %s", got)
+	}
+	unselective := synth.Generate(synth.Config{N: 5000, Dims: 3, Seed: 7, Dist: synth.Uniform})
+	if got := Choose(unselective, vec.L2, 0.6, 1); got != ChooseGrid {
+		t.Errorf("unselective join chose %s", got)
+	}
+	typical := synth.Generate(synth.Config{N: 5000, Dims: 8, Seed: 8, Dist: synth.GaussianClusters})
+	if got := Choose(typical, vec.L2, 0.05, 1); got != ChooseEKDB {
+		t.Errorf("typical workload chose %s", got)
+	}
+}

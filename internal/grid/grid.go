@@ -1,0 +1,269 @@
+// Package grid implements the ε-cell hash-grid similarity join: space is
+// cut into cells of width ε, points are hashed to their cell, and only
+// points in the same or adjacent cells are tested. It is the natural
+// competitor to the ε-kdB tree — and its weakness is the point of the
+// comparison: the number of adjacent cells grows as 3^g in the number g of
+// gridded dimensions, so the grid can only afford to use a few dimensions
+// (the widest ones), leaving the remaining dimensions unfiltered. The ε-kdB
+// tree escapes this by nesting stripes one dimension at a time, visiting
+// only the non-empty parts of the neighborhood.
+package grid
+
+import (
+	"sort"
+
+	"simjoin/internal/dataset"
+	"simjoin/internal/join"
+	"simjoin/internal/pairs"
+	"simjoin/internal/vec"
+)
+
+// Config holds the grid-specific knobs.
+type Config struct {
+	// MaxDims bounds how many dimensions are gridded (the widest ones).
+	// Each gridded dimension triples the neighborhood, so the default of 6
+	// (≤ 729 neighbor cells) is about as far as the method can be pushed.
+	MaxDims int
+}
+
+// DefaultConfig returns the configuration used by the evaluation.
+func DefaultConfig() Config { return Config{MaxDims: 6} }
+
+// index is the cell-hash structure built over one dataset.
+type index struct {
+	ds      *dataset.Dataset
+	eps     float64
+	gridded []int     // which dimensions are gridded, in order
+	origin  []float64 // grid origin per gridded dimension
+	cells   map[string][]int32
+}
+
+// build hashes every point of ds into cells of width eps over the gridded
+// dimensions. The origin comes from box (so two sets can share one grid).
+func build(ds *dataset.Dataset, eps float64, box vec.Box, cfg Config) *index {
+	g := cfg.MaxDims
+	if g <= 0 {
+		g = DefaultConfig().MaxDims
+	}
+	if g > ds.Dims() {
+		g = ds.Dims()
+	}
+	// Grid the g widest dimensions: widest first prunes most.
+	dims := make([]int, ds.Dims())
+	for i := range dims {
+		dims[i] = i
+	}
+	sort.Slice(dims, func(a, b int) bool {
+		return box.Hi[dims[a]]-box.Lo[dims[a]] > box.Hi[dims[b]]-box.Lo[dims[b]]
+	})
+	idx := &index{
+		ds:      ds,
+		eps:     eps,
+		gridded: dims[:g],
+		origin:  make([]float64, g),
+		cells:   make(map[string][]int32, ds.Len()/2+1),
+	}
+	for k, dim := range idx.gridded {
+		idx.origin[k] = box.Lo[dim]
+	}
+	coords := make([]int32, g)
+	for i := 0; i < ds.Len(); i++ {
+		idx.cellOf(ds.Point(i), coords)
+		k := string(encode(nil, coords))
+		idx.cells[k] = append(idx.cells[k], int32(i))
+	}
+	return idx
+}
+
+// cellOf writes the cell coordinates of point p into dst. Coordinates are
+// clamped to int32 range so a pathologically small ε degrades to a coarse
+// (still correct, just unselective) final cell rather than overflowing.
+func (ix *index) cellOf(p []float64, dst []int32) {
+	const maxCell = 1 << 30
+	for k, dim := range ix.gridded {
+		v := (p[dim] - ix.origin[k]) / ix.eps
+		if v > maxCell {
+			v = maxCell
+		}
+		if v < -maxCell {
+			v = -maxCell
+		}
+		dst[k] = int32(v)
+	}
+}
+
+// encode appends the byte encoding of cell coordinates to dst.
+func encode(dst []byte, coords []int32) []byte {
+	for _, c := range coords {
+		u := uint32(c)
+		dst = append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	return dst
+}
+
+// SelfJoin reports every unordered pair within ε once using the default
+// grid configuration.
+func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
+	SelfJoinConfig(ds, opt, DefaultConfig(), sink)
+}
+
+// SelfJoinConfig is SelfJoin with explicit grid configuration.
+func SelfJoinConfig(ds *dataset.Dataset, opt join.Options, cfg Config, sink pairs.Sink) {
+	opt.MustValidate()
+	if ds.Len() < 2 {
+		return
+	}
+	c := opt.Stats()
+	t := opt.Threshold()
+	ix := build(ds, opt.Eps, ds.Bounds(), cfg)
+	g := len(ix.gridded)
+	offsets := positiveOffsets(g)
+	var cand, res int64
+	nb := make([]int32, g)
+	keyBuf := make([]byte, 0, 4*g)
+	for key, members := range ix.cells {
+		// Within-cell pairs.
+		for a := 0; a < len(members); a++ {
+			pa := ds.Point(int(members[a]))
+			for b := a + 1; b < len(members); b++ {
+				cand++
+				if vec.Within(opt.Metric, pa, ds.Point(int(members[b])), t) {
+					res++
+					sink.Emit(int(members[a]), int(members[b]))
+				}
+			}
+		}
+		// Lexicographically-positive neighbors: each unordered cell pair once.
+		coords := decode(key, g)
+		for _, off := range offsets {
+			for k := range nb {
+				nb[k] = coords[k] + int32(off[k])
+			}
+			other, ok := ix.cells[string(encode(keyBuf[:0], nb))]
+			if !ok {
+				continue
+			}
+			for _, ia := range members {
+				pa := ds.Point(int(ia))
+				for _, ib := range other {
+					cand++
+					if vec.Within(opt.Metric, pa, ds.Point(int(ib)), t) {
+						res++
+						sink.Emit(int(ia), int(ib))
+					}
+				}
+			}
+		}
+	}
+	c.AddCandidates(cand)
+	c.AddDistComps(cand)
+	c.AddResults(res)
+}
+
+// Join reports every (a-index, b-index) pair within ε using the default
+// configuration.
+func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
+	JoinConfig(a, b, opt, DefaultConfig(), sink)
+}
+
+// JoinConfig is Join with explicit grid configuration. The grid is built on
+// b over the joint bounding box; every a-point probes its 3^g neighborhood.
+func JoinConfig(a, b *dataset.Dataset, opt join.Options, cfg Config, sink pairs.Sink) {
+	opt.MustValidate()
+	if a.Len() == 0 || b.Len() == 0 {
+		return
+	}
+	c := opt.Stats()
+	t := opt.Threshold()
+	box := a.Bounds()
+	box.ExtendBox(b.Bounds())
+	ix := build(b, opt.Eps, box, cfg)
+	g := len(ix.gridded)
+	offsets := allOffsets(g)
+	var cand, res int64
+	coords := make([]int32, g)
+	nb := make([]int32, g)
+	keyBuf := make([]byte, 0, 4*g)
+	for i := 0; i < a.Len(); i++ {
+		pa := a.Point(i)
+		ix.cellOf(pa, coords)
+		for _, off := range offsets {
+			for k := range nb {
+				nb[k] = coords[k] + int32(off[k])
+			}
+			members, ok := ix.cells[string(encode(keyBuf[:0], nb))]
+			if !ok {
+				continue
+			}
+			for _, ib := range members {
+				cand++
+				if vec.Within(opt.Metric, pa, b.Point(int(ib)), t) {
+					res++
+					sink.Emit(i, int(ib))
+				}
+			}
+		}
+	}
+	c.AddCandidates(cand)
+	c.AddDistComps(cand)
+	c.AddResults(res)
+}
+
+// decode parses a cell key back into coordinates.
+func decode(key string, g int) []int32 {
+	out := make([]int32, g)
+	for k := 0; k < g; k++ {
+		b := key[4*k:]
+		out[k] = int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+	}
+	return out
+}
+
+// allOffsets enumerates {-1,0,1}^g.
+func allOffsets(g int) [][]int8 {
+	total := 1
+	for i := 0; i < g; i++ {
+		total *= 3
+	}
+	out := make([][]int8, 0, total)
+	cur := make([]int8, g)
+	for i := range cur {
+		cur[i] = -1
+	}
+	for {
+		off := make([]int8, g)
+		copy(off, cur)
+		out = append(out, off)
+		k := g - 1
+		for ; k >= 0; k-- {
+			if cur[k] < 1 {
+				cur[k]++
+				break
+			}
+			cur[k] = -1
+		}
+		if k < 0 {
+			return out
+		}
+	}
+}
+
+// positiveOffsets enumerates the offsets in {-1,0,1}^g whose first nonzero
+// component is +1, i.e. exactly one of {δ, −δ} for each δ ≠ 0. Visiting
+// only these from every cell touches each unordered pair of adjacent cells
+// exactly once.
+func positiveOffsets(g int) [][]int8 {
+	var out [][]int8
+	for _, off := range allOffsets(g) {
+		for _, v := range off {
+			if v > 0 {
+				out = append(out, off)
+				break
+			}
+			if v < 0 {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package grid
+
+import (
+	"sync"
+
+	"simjoin/internal/dataset"
+	"simjoin/internal/join"
+	"simjoin/internal/pairs"
+	"simjoin/internal/vec"
+)
+
+// SelfJoinParallel is SelfJoin with the per-cell work spread across
+// opt.WorkerCount() goroutines. newSink is called once per worker to obtain
+// that worker's private result sink (use pairs.Sharded, or a shared
+// pairs.Counter returned from every call). The grid decomposition makes
+// this embarrassingly parallel: each occupied cell owns its within-cell
+// pairs and its lexicographically-positive neighbor pairs, so no pair is
+// claimed by two cells.
+func SelfJoinParallel(ds *dataset.Dataset, opt join.Options, cfg Config, newSink func() pairs.Sink) {
+	opt.MustValidate()
+	if ds.Len() < 2 {
+		return
+	}
+	c := opt.Stats()
+	t := opt.Threshold()
+	ix := build(ds, opt.Eps, ds.Bounds(), cfg)
+	g := len(ix.gridded)
+	offsets := positiveOffsets(g)
+
+	keys := make([]string, 0, len(ix.cells))
+	for key := range ix.cells {
+		keys = append(keys, key)
+	}
+	workers := opt.WorkerCount()
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	work := make(chan string, len(keys))
+	for _, k := range keys {
+		work <- k
+	}
+	close(work)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink := newSink()
+			nb := make([]int32, g)
+			keyBuf := make([]byte, 0, 4*g)
+			var cand, res int64
+			for key := range work {
+				members := ix.cells[key]
+				for a := 0; a < len(members); a++ {
+					pa := ds.Point(int(members[a]))
+					for b := a + 1; b < len(members); b++ {
+						cand++
+						if vec.Within(opt.Metric, pa, ds.Point(int(members[b])), t) {
+							res++
+							sink.Emit(int(members[a]), int(members[b]))
+						}
+					}
+				}
+				coords := decode(key, g)
+				for _, off := range offsets {
+					for k := range nb {
+						nb[k] = coords[k] + int32(off[k])
+					}
+					other, ok := ix.cells[string(encode(keyBuf[:0], nb))]
+					if !ok {
+						continue
+					}
+					for _, ia := range members {
+						pa := ds.Point(int(ia))
+						for _, ib := range other {
+							cand++
+							if vec.Within(opt.Metric, pa, ds.Point(int(ib)), t) {
+								res++
+								sink.Emit(int(ia), int(ib))
+							}
+						}
+					}
+				}
+			}
+			c.AddCandidates(cand)
+			c.AddDistComps(cand)
+			c.AddResults(res)
+		}()
+	}
+	wg.Wait()
+}

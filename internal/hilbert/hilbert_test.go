@@ -1,0 +1,170 @@
+package hilbert
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"simjoin/internal/jointest"
+	"simjoin/internal/vec"
+	"simjoin/internal/zorder"
+)
+
+func TestSelfJoinOracle(t *testing.T) {
+	jointest.CheckSelf(t, SelfJoin, 40, 1101)
+}
+
+func TestJoinOracle(t *testing.T) {
+	jointest.CheckJoin(t, Join, 40, 1102)
+}
+
+func TestSelfJoinAdversarial(t *testing.T) {
+	jointest.CheckSelfAdversarial(t, SelfJoin)
+}
+
+func TestKeyMonotone1D(t *testing.T) {
+	box := vec.NewBox([]float64{0}, []float64{1})
+	prev := uint64(0)
+	for i := 0; i <= 200; i++ {
+		k := Key([]float64{float64(i) / 200}, box)
+		if k < prev {
+			t.Fatalf("1-D Hilbert key not monotone at %d", i)
+		}
+		prev = k
+	}
+}
+
+// TestAdjacencyProperty is the defining Hilbert-curve invariant: walking
+// the curve order over a full 2-D grid, consecutive cells differ by
+// exactly one step in exactly one coordinate. The Z-order curve fails
+// this massively (it jumps); Hilbert must have zero jumps.
+func TestAdjacencyProperty(t *testing.T) {
+	const side = 16 // uses a 2-D grid of 16×16 cells
+	box := vec.NewBox([]float64{0, 0}, []float64{side - 1, side - 1})
+	type cell struct {
+		x, y int
+		key  uint64
+	}
+	cells := make([]cell, 0, side*side)
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			// Place the point at the cell's exact lattice coordinate; with
+			// extent side−1 and 16 bits/dim the quantizer maps lattice
+			// points to distinct codes whose low bits equal x·(2¹⁶−1)/(side−1),
+			// so equal spacing keeps ordering faithful.
+			k := Key([]float64{float64(x), float64(y)}, box)
+			cells = append(cells, cell{x: x, y: y, key: k})
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool { return cells[a].key < cells[b].key })
+	jumps := 0
+	for i := 1; i < len(cells); i++ {
+		dx := cells[i].x - cells[i-1].x
+		dy := cells[i].y - cells[i-1].y
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx+dy != 1 {
+			jumps++
+		}
+	}
+	if jumps != 0 {
+		t.Errorf("Hilbert order has %d non-adjacent steps, want 0", jumps)
+	}
+	// Contrast: the Z-order walk over the same grid does jump.
+	zcells := make([]cell, len(cells))
+	copy(zcells, cells)
+	for i := range zcells {
+		zcells[i].key = zorder.Key([]float64{float64(zcells[i].x), float64(zcells[i].y)}, box)
+	}
+	sort.Slice(zcells, func(a, b int) bool { return zcells[a].key < zcells[b].key })
+	zjumps := 0
+	for i := 1; i < len(zcells); i++ {
+		dx := zcells[i].x - zcells[i-1].x
+		dy := zcells[i].y - zcells[i-1].y
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx+dy != 1 {
+			zjumps++
+		}
+	}
+	if zjumps == 0 {
+		t.Error("Z-order walk shows no jumps; the contrast test is broken")
+	}
+}
+
+// TestKeyBijectiveOnGrid: distinct cells get distinct keys (the transform
+// is a permutation of the grid).
+func TestKeyBijectiveOnGrid(t *testing.T) {
+	const side = 8
+	box := vec.NewBox([]float64{0, 0, 0}, []float64{side - 1, side - 1, side - 1})
+	seen := map[uint64]bool{}
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			for z := 0; z < side; z++ {
+				k := Key([]float64{float64(x), float64(y), float64(z)}, box)
+				if seen[k] {
+					t.Fatalf("duplicate key for cell (%d,%d,%d)", x, y, z)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+// TestLocality: near point pairs must have far smaller key differences
+// than random pairs. (Hilbert's advantage over Z-order is in worst-case
+// adjacency — TestAdjacencyProperty — not in this mean metric, where the
+// two curves land within a few percent of each other; the E2 ablation
+// bench reports the measured join-cost difference.)
+func TestLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	box := vec.NewBox([]float64{0, 0, 0}, []float64{1, 1, 1})
+	ratio := func(key func([]float64, vec.Box) uint64) float64 {
+		var near, far float64
+		const trials = 2000
+		for i := 0; i < trials; i++ {
+			p := []float64{rng.Float64() * 0.95, rng.Float64() * 0.95, rng.Float64() * 0.95}
+			q := []float64{p[0] + 0.02, p[1] + 0.02, p[2] + 0.02}
+			r := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			kp, kq, kr := key(p, box), key(q, box), key(r, box)
+			near += absDiff(kp, kq)
+			far += absDiff(kp, kr)
+		}
+		return near / far
+	}
+	rng = rand.New(rand.NewSource(1))
+	h := ratio(Key)
+	rng = rand.New(rand.NewSource(1))
+	z := ratio(zorder.Key)
+	if h > 0.2 {
+		t.Errorf("Hilbert near/far key ratio %g: no locality", h)
+	}
+	if h > z*1.25 {
+		t.Errorf("Hilbert mean locality %g dramatically worse than Z-order's %g", h, z)
+	}
+}
+
+func absDiff(a, b uint64) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	// 1-D and zero-extent boxes must not panic and must stay ordered.
+	box := vec.NewBox([]float64{5, 0}, []float64{5, 1})
+	k1 := Key([]float64{5, 0.1}, box)
+	k2 := Key([]float64{5, 0.9}, box)
+	if k1 >= k2 {
+		t.Errorf("degenerate dim broke ordering: %d >= %d", k1, k2)
+	}
+}

@@ -1,0 +1,65 @@
+package join
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"simjoin/internal/stats"
+	"simjoin/internal/vec"
+)
+
+func TestValidate(t *testing.T) {
+	good := Options{Metric: vec.L2, Eps: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+	for name, o := range map[string]Options{
+		"zero eps":     {Metric: vec.L2},
+		"negative eps": {Metric: vec.L2, Eps: -1},
+		"nan eps":      {Metric: vec.L2, Eps: math.NaN()},
+		"bad metric":   {Metric: vec.Metric(9), Eps: 1},
+	} {
+		if err := o.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestMustValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustValidate of invalid options did not panic")
+		}
+	}()
+	Options{}.MustValidate()
+}
+
+func TestStatsNilSafe(t *testing.T) {
+	var o Options
+	o.Stats().AddDistComps(5) // must not crash
+	var c stats.Counters
+	o.Counters = &c
+	o.Stats().AddDistComps(3)
+	if c.Snapshot().DistComps != 3 {
+		t.Error("counters not forwarded")
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	if got := (Options{Workers: 3}).WorkerCount(); got != 3 {
+		t.Errorf("WorkerCount = %d, want 3", got)
+	}
+	if got := (Options{}).WorkerCount(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default WorkerCount = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	if got := (Options{Metric: vec.L2, Eps: 3}).Threshold(); got != 9 {
+		t.Errorf("L2 threshold = %g, want 9", got)
+	}
+	if got := (Options{Metric: vec.L1, Eps: 3}).Threshold(); got != 3 {
+		t.Errorf("L1 threshold = %g, want 3", got)
+	}
+}

@@ -1,0 +1,54 @@
+package jointest
+
+import (
+	"strings"
+	"testing"
+
+	"simjoin/internal/vec"
+)
+
+func TestCasesDeterministicAndDiverse(t *testing.T) {
+	a := Cases(50, 7)
+	b := Cases(50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Cases not deterministic for a fixed seed")
+		}
+	}
+	metrics := map[vec.Metric]bool{}
+	dims := map[int]bool{}
+	for _, c := range a {
+		metrics[c.Metric] = true
+		dims[c.Dims] = true
+		if c.N < 2 || c.Eps <= 0 {
+			t.Fatalf("degenerate case %v", c)
+		}
+		if ds := c.Dataset(); ds.Len() != c.N || ds.Dims() != c.Dims {
+			t.Fatalf("case %v materialized wrong shape", c)
+		}
+		if err := c.Options().Validate(); err != nil {
+			t.Fatalf("case %v options invalid: %v", c, err)
+		}
+	}
+	if len(metrics) < 3 || len(dims) < 6 {
+		t.Errorf("cases not diverse: %d metrics, %d dims", len(metrics), len(dims))
+	}
+	if !strings.Contains(a[0].String(), "eps=") {
+		t.Error("Case.String missing fields")
+	}
+}
+
+func TestAdversarialDatasetsShape(t *testing.T) {
+	for _, dims := range []int{1, 4} {
+		sets := AdversarialDatasets(dims)
+		for _, name := range []string{"coincident", "boundary-lattice", "single-cluster", "corners"} {
+			ds, ok := sets[name]
+			if !ok {
+				t.Fatalf("d=%d: missing %s", dims, name)
+			}
+			if ds.Dims() != dims || ds.Len() < 2 {
+				t.Fatalf("d=%d %s: shape %dx%d", dims, name, ds.Len(), ds.Dims())
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package kdtree
+
+import (
+	"fmt"
+
+	"simjoin/internal/join"
+	"simjoin/internal/stats"
+	"simjoin/internal/vec"
+)
+
+// KNN returns the k nearest neighbors of q in ascending distance order
+// (ties broken by index). The search descends the closer child first and
+// prunes subtrees whose box is farther than the current k-th best.
+func (t *Tree) KNN(q []float64, k int, metric vec.Metric, counters *stats.Counters) []join.Neighbor {
+	if len(q) != t.ds.Dims() {
+		panic(fmt.Sprintf("kdtree: query of dimension %d against %d-dim tree", len(q), t.ds.Dims()))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("kdtree: KNN with k=%d", k))
+	}
+	best := join.NewMaxHeap(k)
+	var visits, comps int64
+	var rec func(n *node)
+	rec = func(n *node) {
+		visits++
+		if n.dim < 0 {
+			for _, i := range n.pts {
+				comps++
+				d := vec.Dist(metric, q, t.ds.Point(int(i)))
+				best.Push(join.Neighbor{Index: int(i), Dist: d})
+			}
+			return
+		}
+		first, second := n.left, n.right
+		if q[n.dim] >= n.val {
+			first, second = second, first
+		}
+		if b, ok := best.Bound(); !ok || first.box.MinDistPoint(metric, q) <= b {
+			rec(first)
+		}
+		if b, ok := best.Bound(); !ok || second.box.MinDistPoint(metric, q) <= b {
+			rec(second)
+		}
+	}
+	rec(t.root)
+	if counters != nil {
+		counters.AddNodeVisits(visits)
+		counters.AddDistComps(comps)
+		counters.AddCandidates(comps)
+	}
+	return best.Sorted()
+}

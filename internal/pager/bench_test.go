@@ -1,0 +1,40 @@
+package pager
+
+import "testing"
+
+// BenchmarkPoolFetch measures the hit and miss paths of the LRU pool.
+func BenchmarkPoolFetch(b *testing.B) {
+	s := NewStore(4096, nil)
+	f := s.CreateFile(8)
+	p := make([]float64, 8)
+	for i := 0; i < 64*100; i++ { // 100 pages
+		f.Append(p)
+	}
+	f.Flush()
+
+	b.Run("hit", func(b *testing.B) {
+		pool := NewPool(s, 4)
+		pool.Fetch(f, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool.Fetch(f, 0)
+		}
+	})
+	b.Run("miss-evict", func(b *testing.B) {
+		pool := NewPool(s, 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool.Fetch(f, i%100) // pool of 2 over 100 pages: ~all misses
+		}
+	})
+}
+
+func BenchmarkFileAppend(b *testing.B) {
+	s := NewStore(4096, nil)
+	f := s.CreateFile(8)
+	p := make([]float64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Append(p)
+	}
+}

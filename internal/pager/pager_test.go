@@ -1,0 +1,251 @@
+package pager
+
+import (
+	"math/rand"
+	"testing"
+
+	"simjoin/internal/stats"
+)
+
+func TestPointsPerPage(t *testing.T) {
+	s := NewStore(4096, nil)
+	if got := s.PointsPerPage(8); got != 64 { // 4096/(8*8)
+		t.Errorf("PointsPerPage(8) = %d, want 64", got)
+	}
+	if got := s.PointsPerPage(1); got != 512 {
+		t.Errorf("PointsPerPage(1) = %d, want 512", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized point did not panic")
+		}
+	}()
+	s.PointsPerPage(4096)
+}
+
+func TestStoreDefaults(t *testing.T) {
+	s := NewStore(0, nil)
+	if s.PageBytes() != DefaultPageBytes {
+		t.Errorf("PageBytes = %d, want default", s.PageBytes())
+	}
+	if s.Counters() == nil {
+		t.Error("nil counters not replaced")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny page did not panic")
+		}
+	}()
+	NewStore(8, nil)
+}
+
+func TestFileAppendAndPages(t *testing.T) {
+	var c stats.Counters
+	s := NewStore(64, &c) // 64 bytes = 8 floats = 4 points of dim 2
+	f := s.CreateFile(2)
+	if f.PointsPerPage() != 4 {
+		t.Fatalf("perPage = %d, want 4", f.PointsPerPage())
+	}
+	for i := 0; i < 10; i++ {
+		f.Append([]float64{float64(i), float64(-i)})
+	}
+	if f.Len() != 10 {
+		t.Errorf("Len = %d", f.Len())
+	}
+	if f.NumPages() != 2 { // 8 points flushed, 2 buffered
+		t.Errorf("NumPages before Flush = %d, want 2", f.NumPages())
+	}
+	f.Flush()
+	if f.NumPages() != 3 {
+		t.Errorf("NumPages after Flush = %d, want 3", f.NumPages())
+	}
+	if got := c.Snapshot().PageWrites; got != 3 {
+		t.Errorf("PageWrites = %d, want 3", got)
+	}
+	if f.PagePoints(2) != 2 {
+		t.Errorf("partial page has %d points, want 2", f.PagePoints(2))
+	}
+	// Flush with empty buffer is a no-op.
+	f.Flush()
+	if f.NumPages() != 3 || c.Snapshot().PageWrites != 3 {
+		t.Error("empty Flush was not a no-op")
+	}
+}
+
+func TestFileAppendPanics(t *testing.T) {
+	s := NewStore(0, nil)
+	f := s.CreateFile(3)
+	for name, fn := range map[string]func(){
+		"wrong dims": func() { f.Append([]float64{1}) },
+		"bad file":   func() { s.CreateFile(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRoundTripThroughPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var c stats.Counters
+	s := NewStore(128, &c)
+	f := s.CreateFile(3)
+	want := make([][]float64, 50)
+	for i := range want {
+		p := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		want[i] = p
+		f.Append(p)
+	}
+	f.Flush()
+	pool := NewPool(s, 2)
+	got := 0
+	for pg := 0; pg < f.NumPages(); pg++ {
+		data := pool.Fetch(f, pg)
+		for i := 0; i < f.PagePoints(pg); i++ {
+			p := PagePoint(data, 3, i)
+			for k := 0; k < 3; k++ {
+				if p[k] != want[got][k] {
+					t.Fatalf("point %d dim %d: %g vs %g", got, k, p[k], want[got][k])
+				}
+			}
+			got++
+		}
+	}
+	if got != 50 {
+		t.Fatalf("read %d points, want 50", got)
+	}
+}
+
+func TestPoolLRUSemantics(t *testing.T) {
+	var c stats.Counters
+	s := NewStore(64, &c) // 4 points of dim 2 per page
+	f := s.CreateFile(2)
+	for i := 0; i < 16; i++ { // 4 pages
+		f.Append([]float64{float64(i), 0})
+	}
+	f.Flush()
+	c.Reset() // ignore write accounting
+
+	pool := NewPool(s, 2)
+	pool.Fetch(f, 0) // miss
+	pool.Fetch(f, 1) // miss
+	pool.Fetch(f, 0) // hit, page 0 becomes MRU
+	pool.Fetch(f, 2) // miss, evicts page 1 (LRU)
+	if pool.Resident(f, 1) {
+		t.Error("page 1 still resident; LRU eviction wrong")
+	}
+	if !pool.Resident(f, 0) || !pool.Resident(f, 2) {
+		t.Error("expected pages 0 and 2 resident")
+	}
+	pool.Fetch(f, 1) // miss again
+	hits, misses, evictions := pool.Stats()
+	if hits != 1 || misses != 4 || evictions != 2 {
+		t.Errorf("stats = %d/%d/%d, want 1/4/2", hits, misses, evictions)
+	}
+	if got := c.Snapshot().PageReads; got != 4 {
+		t.Errorf("PageReads = %d, want 4 (one per miss)", got)
+	}
+}
+
+func TestPoolDrop(t *testing.T) {
+	s := NewStore(64, nil)
+	f := s.CreateFile(2)
+	for i := 0; i < 8; i++ {
+		f.Append([]float64{1, 2})
+	}
+	f.Flush()
+	pool := NewPool(s, 4)
+	pool.Fetch(f, 0)
+	pool.Fetch(f, 1)
+	pool.Drop()
+	if pool.Resident(f, 0) || pool.Resident(f, 1) {
+		t.Error("Drop left pages resident")
+	}
+	// Refetch after drop is a miss but capacity unaffected.
+	pool.Fetch(f, 0)
+	if _, misses, _ := pool.Stats(); misses != 3 {
+		t.Errorf("misses = %d, want 3", misses)
+	}
+}
+
+func TestPoolMultipleFilesDistinctKeys(t *testing.T) {
+	s := NewStore(64, nil)
+	a := s.CreateFile(2)
+	b := s.CreateFile(2)
+	for i := 0; i < 4; i++ {
+		a.Append([]float64{1, 1})
+		b.Append([]float64{2, 2})
+	}
+	a.Flush()
+	b.Flush()
+	pool := NewPool(s, 4)
+	pa := pool.Fetch(a, 0)
+	pb := pool.Fetch(b, 0)
+	if pa[0] == pb[0] {
+		t.Error("pages from different files collided")
+	}
+	if !pool.Resident(a, 0) || !pool.Resident(b, 0) {
+		t.Error("both pages should be resident")
+	}
+}
+
+func TestPoolPanics(t *testing.T) {
+	s := NewStore(0, nil)
+	f := s.CreateFile(2)
+	f.Append([]float64{1, 2})
+	f.Flush()
+	pool := NewPool(s, 1)
+	for name, fn := range map[string]func(){
+		"zero capacity":     func() { NewPool(s, 0) },
+		"page out of range": func() { pool.Fetch(f, 5) },
+		"negative page":     func() { pool.Fetch(f, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestScanIOPattern: scanning a file larger than the pool charges exactly
+// one read per page per scan — the base case external algorithms build on.
+func TestScanIOPattern(t *testing.T) {
+	var c stats.Counters
+	s := NewStore(64, &c)
+	f := s.CreateFile(2)
+	for i := 0; i < 40; i++ { // 10 pages
+		f.Append([]float64{float64(i), 0})
+	}
+	f.Flush()
+	c.Reset()
+	pool := NewPool(s, 3)
+	for scan := 0; scan < 2; scan++ {
+		for pg := 0; pg < f.NumPages(); pg++ {
+			pool.Fetch(f, pg)
+		}
+	}
+	if got := c.Snapshot().PageReads; got != 20 {
+		t.Errorf("two cold scans charged %d reads, want 20", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := NewStore(0, nil)
+	f := s.CreateFile(3)
+	if f.Dims() != 3 {
+		t.Errorf("Dims = %d", f.Dims())
+	}
+	p := NewPool(s, 7)
+	if p.Capacity() != 7 {
+		t.Errorf("Capacity = %d", p.Capacity())
+	}
+}

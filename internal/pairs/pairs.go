@@ -1,0 +1,196 @@
+// Package pairs defines how join results are reported and compared. All join
+// algorithms emit results through a Sink, so the same implementation serves
+// counting runs (benchmarks), collecting runs (applications), and exact
+// set-comparison runs (the oracle tests that hold every algorithm to the
+// brute-force answer).
+package pairs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Pair identifies one result of a similarity join by the indexes of its two
+// points. For self-joins the canonical form has I < J; for two-set joins I
+// indexes the outer (A) set and J the inner (B) set, and no ordering between
+// them is implied.
+type Pair struct {
+	I, J int32
+}
+
+// Canon returns the pair with its endpoints ordered (I ≤ J). Only meaningful
+// for self-join results.
+func (p Pair) Canon() Pair {
+	if p.I > p.J {
+		return Pair{I: p.J, J: p.I}
+	}
+	return p
+}
+
+// Less orders pairs lexicographically.
+func (p Pair) Less(q Pair) bool {
+	if p.I != q.I {
+		return p.I < q.I
+	}
+	return p.J < q.J
+}
+
+// Sink consumes join results one pair at a time. Implementations are NOT
+// required to be safe for concurrent use; parallel joins must either use an
+// explicitly concurrent sink (Counter, Sharded) or shard privately and
+// merge.
+type Sink interface {
+	// Emit reports that points i and j joined. Self-join algorithms emit
+	// each unordered pair exactly once (in either order); two-set joins
+	// emit (a-index, b-index).
+	Emit(i, j int)
+}
+
+// Counter is a concurrency-safe Sink that only counts results.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Emit implements Sink.
+func (c *Counter) Emit(i, j int) { c.n.Add(1) }
+
+// N returns the number of pairs emitted so far.
+func (c *Counter) N() int64 { return c.n.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n.Store(0) }
+
+// Collector is a Sink that stores every pair. If Canonical is set, each pair
+// is stored endpoint-ordered (for self-join results). Not safe for
+// concurrent use; wrap in Sharded for parallel joins.
+type Collector struct {
+	Canonical bool
+	Pairs     []Pair
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(i, j int) {
+	p := Pair{I: int32(i), J: int32(j)}
+	if c.Canonical {
+		p = p.Canon()
+	}
+	c.Pairs = append(c.Pairs, p)
+}
+
+// Sorted returns the collected pairs in lexicographic order (sorting in
+// place).
+func (c *Collector) Sorted() []Pair {
+	sort.Slice(c.Pairs, func(a, b int) bool { return c.Pairs[a].Less(c.Pairs[b]) })
+	return c.Pairs
+}
+
+// Sharded adapts any per-goroutine Sink factory into a concurrent Sink by
+// giving each goroutine its own shard via sync.Pool-free explicit handles.
+// Use: s := NewSharded(...); h := s.Handle() per goroutine; h.Emit(...).
+type Sharded struct {
+	mu     sync.Mutex
+	shards []*Collector
+	canon  bool
+}
+
+// NewSharded returns a Sharded collector; canonical applies to every shard.
+func NewSharded(canonical bool) *Sharded {
+	return &Sharded{canon: canonical}
+}
+
+// Handle returns a private, single-goroutine Sink whose results are owned by
+// the Sharded parent.
+func (s *Sharded) Handle() Sink {
+	c := &Collector{Canonical: s.canon}
+	s.mu.Lock()
+	s.shards = append(s.shards, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Merged returns all shards' pairs, sorted lexicographically.
+func (s *Sharded) Merged() []Pair {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int
+	for _, sh := range s.shards {
+		total += len(sh.Pairs)
+	}
+	out := make([]Pair, 0, total)
+	for _, sh := range s.shards {
+		out = append(out, sh.Pairs...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+	return out
+}
+
+// SortPairs sorts a pair slice lexicographically in place.
+func SortPairs(ps []Pair) {
+	sort.Slice(ps, func(a, b int) bool { return ps[a].Less(ps[b]) })
+}
+
+// Dedup removes adjacent duplicates from a sorted pair slice, returning the
+// shortened slice.
+func Dedup(ps []Pair) []Pair {
+	if len(ps) == 0 {
+		return ps
+	}
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two sorted pair slices are identical.
+func Equal(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable summary of the difference between two
+// sorted, deduped pair sets: pairs only in a (missing from b) and pairs only
+// in b (spurious), truncated to a handful of examples each. Used by tests to
+// explain oracle mismatches.
+func Diff(a, b []Pair) string {
+	var onlyA, onlyB []Pair
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i].Less(b[j]):
+			onlyA = append(onlyA, a[i])
+			i++
+		default:
+			onlyB = append(onlyB, b[j])
+			j++
+		}
+	}
+	onlyA = append(onlyA, a[i:]...)
+	onlyB = append(onlyB, b[j:]...)
+	trunc := func(ps []Pair) string {
+		const max = 8
+		s := ""
+		for k, p := range ps {
+			if k == max {
+				return s + "…"
+			}
+			s += fmt.Sprintf("(%d,%d) ", p.I, p.J)
+		}
+		return s
+	}
+	return fmt.Sprintf("%d only in A: %s| %d only in B: %s", len(onlyA), trunc(onlyA), len(onlyB), trunc(onlyB))
+}

@@ -1,0 +1,163 @@
+package pairs
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairCanonAndLess(t *testing.T) {
+	p := Pair{I: 5, J: 2}
+	if c := p.Canon(); c.I != 2 || c.J != 5 {
+		t.Errorf("Canon = %v", c)
+	}
+	q := Pair{I: 2, J: 5}
+	if q.Canon() != q {
+		t.Error("Canon changed an ordered pair")
+	}
+	if !(Pair{1, 9}).Less(Pair{2, 0}) {
+		t.Error("Less by I failed")
+	}
+	if !(Pair{1, 2}).Less(Pair{1, 3}) {
+		t.Error("Less by J failed")
+	}
+	if (Pair{1, 2}).Less(Pair{1, 2}) {
+		t.Error("Less of equal pairs true")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Emit(i, i+1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.N() != workers*each {
+		t.Errorf("N = %d, want %d", c.N(), workers*each)
+	}
+	c.Reset()
+	if c.N() != 0 {
+		t.Error("Reset did not zero")
+	}
+}
+
+func TestCollectorCanonical(t *testing.T) {
+	c := &Collector{Canonical: true}
+	c.Emit(5, 2)
+	c.Emit(1, 3)
+	got := c.Sorted()
+	want := []Pair{{1, 3}, {2, 5}}
+	if !Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	raw := &Collector{}
+	raw.Emit(5, 2)
+	if raw.Pairs[0] != (Pair{5, 2}) {
+		t.Error("non-canonical collector reordered endpoints")
+	}
+}
+
+func TestShardedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	all := make([]Pair, 500)
+	for i := range all {
+		all[i] = Pair{I: int32(rng.Intn(100)), J: int32(rng.Intn(100))}
+	}
+	serial := &Collector{Canonical: true}
+	for _, p := range all {
+		serial.Emit(int(p.I), int(p.J))
+	}
+	sh := NewSharded(true)
+	var wg sync.WaitGroup
+	const workers = 4
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := sh.Handle()
+			for i := w; i < len(all); i += workers {
+				h.Emit(int(all[i].I), int(all[i].J))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !Equal(serial.Sorted(), sh.Merged()) {
+		t.Error("sharded result differs from serial")
+	}
+}
+
+func TestSortDedup(t *testing.T) {
+	ps := []Pair{{3, 4}, {1, 2}, {3, 4}, {1, 2}, {0, 9}}
+	SortPairs(ps)
+	ps = Dedup(ps)
+	want := []Pair{{0, 9}, {1, 2}, {3, 4}}
+	if !Equal(ps, want) {
+		t.Errorf("got %v, want %v", ps, want)
+	}
+	if got := Dedup(nil); len(got) != 0 {
+		t.Error("Dedup(nil) non-empty")
+	}
+}
+
+func TestDedupProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		ps := make([]Pair, len(raw)/2)
+		for i := range ps {
+			ps[i] = Pair{I: int32(raw[2*i]), J: int32(raw[2*i+1])}
+		}
+		SortPairs(ps)
+		d := Dedup(ps)
+		// No adjacent duplicates, sorted, and every input present.
+		for i := 1; i < len(d); i++ {
+			if d[i] == d[i-1] || d[i].Less(d[i-1]) {
+				return false
+			}
+		}
+		seen := map[Pair]bool{}
+		for _, p := range d {
+			seen[p] = true
+		}
+		for _, p := range ps {
+			if !seen[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualAndDiff(t *testing.T) {
+	a := []Pair{{1, 2}, {3, 4}}
+	b := []Pair{{1, 2}, {3, 5}}
+	if Equal(a, b) {
+		t.Error("unequal sets Equal")
+	}
+	if !Equal(a, a) {
+		t.Error("identical sets not Equal")
+	}
+	d := Diff(a, b)
+	if !strings.Contains(d, "(3,4)") || !strings.Contains(d, "(3,5)") {
+		t.Errorf("Diff = %q missing expected pairs", d)
+	}
+	// Truncation kicks in past 8 examples.
+	var long []Pair
+	for i := 0; i < 20; i++ {
+		long = append(long, Pair{int32(i), int32(i + 1)})
+	}
+	if got := Diff(long, nil); !strings.Contains(got, "…") {
+		t.Errorf("Diff truncation missing: %q", got)
+	}
+}

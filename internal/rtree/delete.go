@@ -1,0 +1,104 @@
+package rtree
+
+// Delete removes point index i from the tree (Guttman's algorithm:
+// find-leaf, remove, condense with reinsertion, shrink the root). It
+// reports whether the point was indexed. The dataset itself is untouched.
+func (t *Tree) Delete(i int) bool {
+	if i < 0 || i >= t.ds.Len() || len(t.root.entries) == 0 {
+		return false
+	}
+	p := t.ds.Point(i)
+	var orphans []orphan
+	removed := t.condense(t.root, int32(i), p, t.height, &orphans)
+	if !removed {
+		return false
+	}
+	// Shrink: while the root is internal with a single child, promote it.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+		t.nodes--
+	}
+	// Reinsert orphans at the level that keeps all leaves at depth 1.
+	// Subtree orphans of height h become entries of a node at level h+1;
+	// with the root possibly shrunk, clamp to the current height. Indexed
+	// loop: scatter may append more orphans while we drain.
+	for qi := 0; qi < len(orphans); qi++ {
+		o := orphans[qi]
+		target := o.height + 1
+		if o.height == 0 {
+			target = 1 // a point entry
+		}
+		if target > t.height {
+			// The tree shrank below the orphan's height: split the orphan
+			// into its child entries and reinsert those instead.
+			t.scatter(o, &orphans)
+			continue
+		}
+		t.insertAtLevel(o.e, target)
+	}
+	return true
+}
+
+// orphan is an evicted entry waiting for reinsertion: height 0 for point
+// entries, the subtree height otherwise.
+type orphan struct {
+	e      entry
+	height int
+}
+
+// scatter breaks an orphan subtree into its child entries and queues them
+// (used when the tree shrank below the orphan's level).
+func (t *Tree) scatter(o orphan, queue *[]orphan) {
+	n := o.e.child
+	t.nodes--
+	for _, e := range n.entries {
+		if n.leaf {
+			*queue = append(*queue, orphan{e: e, height: 0})
+		} else {
+			*queue = append(*queue, orphan{e: e, height: o.height - 1})
+		}
+	}
+}
+
+// condense removes point i from the subtree rooted at n (at the given
+// level) if present, evicting under-filled nodes into the orphan queue and
+// tightening boxes on the way out. It reports whether the point was found.
+func (t *Tree) condense(n *node, i int32, p []float64, level int, orphans *[]orphan) bool {
+	if n.leaf {
+		for at, e := range n.entries {
+			if e.idx == i {
+				n.entries = append(n.entries[:at], n.entries[at+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for at := range n.entries {
+		e := &n.entries[at]
+		if !e.box.Contains(p) {
+			continue
+		}
+		if !t.condense(e.child, i, p, level-1, orphans) {
+			continue
+		}
+		child := e.child
+		if len(child.entries) < t.minEntries {
+			// Evict the whole under-filled child for reinsertion.
+			n.entries = append(n.entries[:at], n.entries[at+1:]...)
+			t.nodes--
+			childHeight := level - 1 // height of nodes at the child's level
+			for _, ce := range child.entries {
+				if child.leaf {
+					*orphans = append(*orphans, orphan{e: ce, height: 0})
+				} else {
+					*orphans = append(*orphans, orphan{e: ce, height: childHeight - 1})
+				}
+			}
+		} else {
+			e.box = nodeBox(child)
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,147 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"simjoin/internal/dataset"
+	"simjoin/internal/synth"
+	"simjoin/internal/vec"
+)
+
+func TestDeleteRandomizedKeepsInvariantsAndAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		n := 50 + rng.Intn(500)
+		d := 1 + rng.Intn(5)
+		ds := synth.Generate(synth.Config{N: n, Dims: d, Seed: rng.Int63(), Dist: synth.AllDistributions()[rng.Intn(4)]})
+		var tr *Tree
+		if rng.Intn(2) == 0 {
+			tr = BulkLoad(ds, 4+rng.Intn(12))
+		} else {
+			tr = New(ds, 4+rng.Intn(12))
+			for i := 0; i < n; i++ {
+				tr.Insert(i)
+			}
+		}
+		alive := make([]bool, n)
+		for i := range alive {
+			alive[i] = true
+		}
+		for k := 0; k < n/2; k++ {
+			i := rng.Intn(n)
+			if !alive[i] {
+				if tr.Delete(i) {
+					t.Fatalf("double delete of %d succeeded", i)
+				}
+				continue
+			}
+			if !tr.Delete(i) {
+				t.Fatalf("delete of live point %d failed", i)
+			}
+			alive[i] = false
+			if k%29 == 0 {
+				if err := tr.checkInvariants(); err != nil {
+					t.Fatalf("after %d deletes: %v", k+1, err)
+				}
+			}
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		// Survivor queries must be exact.
+		q := make([]float64, d)
+		for qi := 0; qi < 10; qi++ {
+			for k := range q {
+				q[k] = rng.Float64()
+			}
+			eps := 0.05 + rng.Float64()*0.3
+			var got []int
+			tr.RangeQuery(q, vec.L2, eps, nil, func(i int) { got = append(got, i) })
+			sort.Ints(got)
+			var want []int
+			th := vec.Threshold(vec.L2, eps)
+			for i := 0; i < n; i++ {
+				if alive[i] && vec.Within(vec.L2, q, ds.Point(i), th) {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("post-delete range: %d hits, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatal("post-delete range hit set differs")
+				}
+			}
+		}
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	ds := synth.Generate(synth.Config{N: 200, Dims: 3, Seed: 2, Dist: synth.Uniform})
+	tr := BulkLoad(ds, 8)
+	order := rand.New(rand.NewSource(3)).Perm(200)
+	for _, i := range order {
+		if !tr.Delete(i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if _, ok := tr.Bounds(); ok {
+		t.Error("empty tree reports bounds")
+	}
+	// Reinsert into the emptied tree.
+	for i := 0; i < 200; i++ {
+		tr.Insert(i)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 200 {
+		t.Fatalf("Len = %d after reinsertion", tr.Len())
+	}
+}
+
+func TestDeleteDegenerate(t *testing.T) {
+	ds := dataset.FromPoints([][]float64{{1, 2}})
+	tr := BulkLoad(ds, 0)
+	if tr.Delete(5) || tr.Delete(-1) {
+		t.Error("out-of-range delete succeeded")
+	}
+	if !tr.Delete(0) {
+		t.Error("valid delete failed")
+	}
+	if tr.Delete(0) {
+		t.Error("delete from empty tree succeeded")
+	}
+}
+
+func TestDeleteDuplicateCoordinates(t *testing.T) {
+	// Coincident points are distinct entries; deleting one must leave the
+	// others findable.
+	ds := dataset.New(2, 0)
+	for i := 0; i < 30; i++ {
+		ds.Append([]float64{1, 1})
+	}
+	tr := New(ds, 4)
+	for i := 0; i < 30; i++ {
+		tr.Insert(i)
+	}
+	for i := 0; i < 15; i++ {
+		if !tr.Delete(i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	tr.RangeQuery([]float64{1, 1}, vec.L2, 0.01, nil, func(int) { hits++ })
+	if hits != 15 {
+		t.Errorf("found %d survivors, want 15", hits)
+	}
+}

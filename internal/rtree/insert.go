@@ -1,0 +1,155 @@
+package rtree
+
+import (
+	"math"
+
+	"simjoin/internal/vec"
+)
+
+// Insert adds point index i dynamically, splitting overflowing nodes with
+// Guttman's quadratic algorithm and growing the root when it splits.
+func (t *Tree) Insert(i int) {
+	e := entry{box: vec.PointBox(t.ds.Point(i)), idx: int32(i)}
+	t.insertAtLevel(e, 1)
+}
+
+// insertAtLevel places e so that it becomes an entry of a node at the
+// given level (1 = leaf level; subtree reinsertion during deletion targets
+// higher levels), growing the root on a split.
+func (t *Tree) insertAtLevel(e entry, target int) {
+	split := t.insert(t.root, e, t.height, target)
+	if split != nil {
+		// Root split: grow a new root over the two halves.
+		old := t.root
+		t.root = &node{entries: []entry{
+			{box: nodeBox(old), child: old},
+			{box: nodeBox(split), child: split},
+		}}
+		t.height++
+		t.nodes++
+	}
+}
+
+// insert places e in the subtree rooted at n (which sits at the given
+// level; the leaf level is 1), appending once level == target, and returns
+// the new sibling if n split.
+func (t *Tree) insert(n *node, e entry, level, target int) *node {
+	if level == target {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+		return nil
+	}
+	best := t.chooseSubtree(n, e.box)
+	split := t.insert(n.entries[best].child, e, level-1, target)
+	n.entries[best].box.ExtendBox(e.box)
+	if split == nil {
+		return nil
+	}
+	// The child split: tighten the old entry and add the sibling.
+	n.entries[best].box = nodeBox(n.entries[best].child)
+	n.entries = append(n.entries, entry{box: nodeBox(split), child: split})
+	if len(n.entries) > t.maxEntries {
+		return t.splitNode(n)
+	}
+	return nil
+}
+
+// chooseSubtree picks the entry of internal node n whose box needs the
+// least volume enlargement to cover b (ties: smaller volume).
+func (t *Tree) chooseSubtree(n *node, b vec.Box) int {
+	best, bestEnlarge, bestVol := 0, math.Inf(1), math.Inf(1)
+	for i, e := range n.entries {
+		vol := e.box.Volume()
+		enlarge := e.box.EnlargedVolume(b) - vol
+		if enlarge < bestEnlarge || (enlarge == bestEnlarge && vol < bestVol) {
+			best, bestEnlarge, bestVol = i, enlarge, vol
+		}
+	}
+	return best
+}
+
+// splitNode splits an overflowing node in place with the quadratic method
+// and returns the new sibling.
+func (t *Tree) splitNode(n *node) *node {
+	t.nodes++
+	all := n.entries
+	s1, s2 := pickSeeds(all)
+	g1 := []entry{all[s1]}
+	g2 := []entry{all[s2]}
+	b1 := all[s1].box.Clone()
+	b2 := all[s2].box.Clone()
+	rest := make([]entry, 0, len(all)-2)
+	for i, e := range all {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// Force-assign when one group must absorb everything left to reach
+		// the minimum fill.
+		if len(g1)+len(rest) == t.minEntries {
+			for _, e := range rest {
+				g1 = append(g1, e)
+				b1.ExtendBox(e.box)
+			}
+			break
+		}
+		if len(g2)+len(rest) == t.minEntries {
+			for _, e := range rest {
+				g2 = append(g2, e)
+				b2.ExtendBox(e.box)
+			}
+			break
+		}
+		// PickNext: the entry with the strongest preference for one group.
+		bestIdx, bestDiff := 0, -1.0
+		var bestD1, bestD2 float64
+		for i, e := range rest {
+			d1 := b1.EnlargedVolume(e.box) - b1.Volume()
+			d2 := b2.EnlargedVolume(e.box) - b2.Volume()
+			diff := math.Abs(d1 - d2)
+			if diff > bestDiff {
+				bestIdx, bestDiff, bestD1, bestD2 = i, diff, d1, d2
+			}
+		}
+		e := rest[bestIdx]
+		rest[bestIdx] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		toG1 := bestD1 < bestD2
+		if bestD1 == bestD2 {
+			// Resolve ties by smaller volume, then fewer entries.
+			if b1.Volume() != b2.Volume() {
+				toG1 = b1.Volume() < b2.Volume()
+			} else {
+				toG1 = len(g1) <= len(g2)
+			}
+		}
+		if toG1 {
+			g1 = append(g1, e)
+			b1.ExtendBox(e.box)
+		} else {
+			g2 = append(g2, e)
+			b2.ExtendBox(e.box)
+		}
+	}
+	n.entries = g1
+	return &node{leaf: n.leaf, entries: g2}
+}
+
+// pickSeeds returns the two entries that together waste the most volume —
+// the quadratic-split seed pair.
+func pickSeeds(entries []entry) (int, int) {
+	s1, s2, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			waste := entries[i].box.EnlargedVolume(entries[j].box) -
+				entries[i].box.Volume() - entries[j].box.Volume()
+			if waste > worst {
+				s1, s2, worst = i, j, waste
+			}
+		}
+	}
+	return s1, s2
+}

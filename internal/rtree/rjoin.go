@@ -1,0 +1,138 @@
+package rtree
+
+import (
+	"simjoin/internal/dataset"
+	"simjoin/internal/join"
+	"simjoin/internal/pairs"
+	"simjoin/internal/vec"
+)
+
+// SelfJoin reports every unordered pair within ε once using a bulk-loaded
+// tree and synchronized traversal.
+func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
+	opt.MustValidate()
+	if ds.Len() < 2 {
+		return
+	}
+	t := BulkLoad(ds, 0)
+	t.SelfJoin(opt, sink)
+}
+
+// SelfJoin runs the synchronized-traversal self-join on an existing tree:
+// node pairs whose boxes are farther than ε apart are pruned, identical
+// nodes pair their entries without duplication.
+func (t *Tree) SelfJoin(opt join.Options, sink pairs.Sink) {
+	opt.MustValidate()
+	c := opt.Stats()
+	th := opt.Threshold()
+	var cand, res, visits int64
+	var rec func(a, b *node)
+	rec = func(a, b *node) {
+		visits++
+		same := a == b
+		if a.leaf { // same tree, uniform height: b is a leaf too
+			for i, ea := range a.entries {
+				pa := t.ds.Point(int(ea.idx))
+				jStart := 0
+				if same {
+					jStart = i + 1
+				}
+				for _, eb := range b.entries[jStart:] {
+					cand++
+					if vec.Within(opt.Metric, pa, t.ds.Point(int(eb.idx)), th) {
+						res++
+						sink.Emit(int(ea.idx), int(eb.idx))
+					}
+				}
+			}
+			return
+		}
+		for i, ea := range a.entries {
+			jStart := 0
+			if same {
+				jStart = i
+			}
+			for _, eb := range b.entries[jStart:] {
+				if ea.box.WithinDist(opt.Metric, eb.box, th) {
+					rec(ea.child, eb.child)
+				}
+			}
+		}
+	}
+	rec(t.root, t.root)
+	c.AddCandidates(cand)
+	c.AddDistComps(cand)
+	c.AddResults(res)
+	c.AddNodeVisits(visits)
+}
+
+// Join reports every (a-index, b-index) pair within ε across two datasets,
+// bulk-loading a tree over each and traversing them synchronously.
+func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
+	opt.MustValidate()
+	if a.Len() == 0 || b.Len() == 0 {
+		return
+	}
+	ta := BulkLoad(a, 0)
+	tb := BulkLoad(b, 0)
+	JoinTrees(ta, tb, opt, sink)
+}
+
+// JoinTrees runs the synchronized-traversal join over two existing trees
+// (which may have different heights; the traversal descends the deeper
+// side when levels disagree).
+func JoinTrees(ta, tb *Tree, opt join.Options, sink pairs.Sink) {
+	opt.MustValidate()
+	if ta.Len() == 0 || tb.Len() == 0 {
+		return
+	}
+	c := opt.Stats()
+	th := opt.Threshold()
+	var cand, res, visits int64
+	var rec func(a, b *node, ab, bb vec.Box)
+	rec = func(a, b *node, ab, bb vec.Box) {
+		visits++
+		switch {
+		case a.leaf && b.leaf:
+			for _, ea := range a.entries {
+				pa := ta.ds.Point(int(ea.idx))
+				for _, eb := range b.entries {
+					cand++
+					if vec.Within(opt.Metric, pa, tb.ds.Point(int(eb.idx)), th) {
+						res++
+						sink.Emit(int(ea.idx), int(eb.idx))
+					}
+				}
+			}
+		case a.leaf: // b internal: descend b
+			for _, eb := range b.entries {
+				if eb.box.WithinDist(opt.Metric, ab, th) {
+					rec(a, eb.child, ab, eb.box)
+				}
+			}
+		case b.leaf: // a internal: descend a
+			for _, ea := range a.entries {
+				if ea.box.WithinDist(opt.Metric, bb, th) {
+					rec(ea.child, b, ea.box, bb)
+				}
+			}
+		default: // both internal: descend both
+			for _, ea := range a.entries {
+				for _, eb := range b.entries {
+					if ea.box.WithinDist(opt.Metric, eb.box, th) {
+						rec(ea.child, eb.child, ea.box, eb.box)
+					}
+				}
+			}
+		}
+	}
+	rootA, _ := ta.Bounds()
+	rootB, _ := tb.Bounds()
+	if rootA.WithinDist(opt.Metric, rootB, th) {
+		rec(ta.root, tb.root, rootA, rootB)
+	}
+	c.AddCandidates(cand)
+	c.AddDistComps(cand)
+	c.AddResults(res)
+	c.AddNodeVisits(visits)
+}

@@ -1,0 +1,255 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"simjoin/internal/dataset"
+	"simjoin/internal/join"
+	"simjoin/internal/jointest"
+	"simjoin/internal/pairs"
+	"simjoin/internal/stats"
+	"simjoin/internal/synth"
+	"simjoin/internal/vec"
+)
+
+func TestSelfJoinOracle(t *testing.T) {
+	jointest.CheckSelf(t, SelfJoin, 60, 701)
+}
+
+func TestJoinOracle(t *testing.T) {
+	jointest.CheckJoin(t, Join, 60, 702)
+}
+
+func TestSelfJoinAdversarial(t *testing.T) {
+	jointest.CheckSelfAdversarial(t, SelfJoin)
+}
+
+func TestDynamicInsertOracle(t *testing.T) {
+	// The dynamically built tree must produce identical join results.
+	fn := func(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
+		tr := New(ds, 8)
+		for i := 0; i < ds.Len(); i++ {
+			tr.Insert(i)
+		}
+		tr.SelfJoin(opt, sink)
+	}
+	jointest.CheckSelf(t, fn, 30, 703)
+}
+
+func TestBulkLoadInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(800)
+		d := 1 + rng.Intn(10)
+		ds := synth.Generate(synth.Config{N: n, Dims: d, Seed: rng.Int63(), Dist: synth.AllDistributions()[rng.Intn(4)]})
+		max := 4 + rng.Intn(60)
+		tr := BulkLoad(ds, max)
+		if tr.Len() != n {
+			t.Fatalf("n=%d max=%d: Len = %d", n, max, tr.Len())
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("n=%d d=%d max=%d: %v", n, d, max, err)
+		}
+	}
+}
+
+func TestDynamicInsertInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(500)
+		d := 1 + rng.Intn(6)
+		ds := synth.Generate(synth.Config{N: n, Dims: d, Seed: rng.Int63(), Dist: synth.Uniform})
+		tr := New(ds, 4+rng.Intn(20))
+		for i := 0; i < n; i++ {
+			tr.Insert(i)
+			if i%97 == 0 {
+				if err := tr.checkInvariants(); err != nil {
+					t.Fatalf("after %d inserts: %v", i+1, err)
+				}
+			}
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("final n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+	}
+}
+
+func TestDuplicatePointsInsert(t *testing.T) {
+	ds := dataset.New(2, 0)
+	for i := 0; i < 100; i++ {
+		ds.Append([]float64{1, 1})
+	}
+	tr := New(ds, 8)
+	for i := 0; i < 100; i++ {
+		tr.Insert(i)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var sink pairs.Counter
+	tr.SelfJoin(join.Options{Metric: vec.L2, Eps: 0.5}, &sink)
+	if sink.N() != 100*99/2 {
+		t.Errorf("coincident self-join = %d, want %d", sink.N(), 100*99/2)
+	}
+}
+
+func TestRangeQueryMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := synth.Generate(synth.Config{N: 700, Dims: 4, Seed: 4, Dist: synth.GaussianClusters})
+	for _, build := range []func() *Tree{
+		func() *Tree { return BulkLoad(ds, 16) },
+		func() *Tree {
+			tr := New(ds, 16)
+			for i := 0; i < ds.Len(); i++ {
+				tr.Insert(i)
+			}
+			return tr
+		},
+	} {
+		tr := build()
+		for trial := 0; trial < 25; trial++ {
+			q := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+			for _, m := range []vec.Metric{vec.L2, vec.L1, vec.Linf} {
+				eps := 0.05 + rng.Float64()*0.3
+				var got []int
+				tr.RangeQuery(q, m, eps, nil, func(i int) { got = append(got, i) })
+				sort.Ints(got)
+				th := vec.Threshold(m, eps)
+				var want []int
+				for i := 0; i < ds.Len(); i++ {
+					if vec.Within(m, q, ds.Point(i), th) {
+						want = append(want, i)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%v eps=%g: %d hits, want %d", m, eps, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%v: hit mismatch", m)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWindowQuery(t *testing.T) {
+	ds := synth.Generate(synth.Config{N: 1000, Dims: 3, Seed: 5, Dist: synth.Uniform})
+	tr := BulkLoad(ds, 0)
+	w := vec.NewBox([]float64{0.2, 0.2, 0.2}, []float64{0.5, 0.6, 0.4})
+	var got []int
+	tr.WindowQuery(w, func(i int) { got = append(got, i) })
+	sort.Ints(got)
+	var want []int
+	for i := 0; i < ds.Len(); i++ {
+		if w.Contains(ds.Point(i)) {
+			want = append(want, i)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("window hits %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("window hit set differs")
+		}
+	}
+}
+
+func TestJoinTreesDifferentHeights(t *testing.T) {
+	// 2000 vs 10 points: trees of very different heights must still join
+	// correctly through the mixed-level traversal.
+	a := synth.Generate(synth.Config{N: 2000, Dims: 3, Seed: 6, Dist: synth.Uniform})
+	b := synth.Generate(synth.Config{N: 10, Dims: 3, Seed: 7, Dist: synth.Uniform})
+	opt := join.Options{Metric: vec.L2, Eps: 0.1}
+	got := &pairs.Collector{}
+	JoinTrees(BulkLoad(a, 8), BulkLoad(b, 8), opt, got)
+	want := &pairs.Collector{}
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < b.Len(); j++ {
+			if vec.Within(vec.L2, a.Point(i), b.Point(j), opt.Threshold()) {
+				want.Emit(i, j)
+			}
+		}
+	}
+	if !pairs.Equal(got.Sorted(), want.Sorted()) {
+		t.Errorf("mixed-height join wrong: %s", pairs.Diff(got.Pairs, want.Pairs))
+	}
+}
+
+func TestHeightAndSizeGrow(t *testing.T) {
+	ds := synth.Generate(synth.Config{N: 5000, Dims: 2, Seed: 8, Dist: synth.Uniform})
+	tr := BulkLoad(ds, 16)
+	if tr.Height() < 3 {
+		t.Errorf("Height = %d, want ≥ 3 for 5000 points with fan-out 16", tr.Height())
+	}
+	if tr.Size() < 5000/16 {
+		t.Errorf("Size = %d, too few nodes", tr.Size())
+	}
+	dyn := New(ds, 16)
+	for i := 0; i < 200; i++ {
+		dyn.Insert(i)
+	}
+	if dyn.Height() < 2 {
+		t.Errorf("dynamic Height = %d after 200 inserts with fan-out 16", dyn.Height())
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	ds := dataset.New(2, 0)
+	tr := BulkLoad(ds, 0)
+	if _, ok := tr.Bounds(); ok {
+		t.Error("empty tree reported bounds")
+	}
+	var sink pairs.Counter
+	tr.RangeQuery([]float64{0, 0}, vec.L2, 1, nil, func(int) { sink.Emit(0, 0) })
+	if sink.N() != 0 {
+		t.Error("empty tree range query hit something")
+	}
+}
+
+// TestJoinPrunes: synchronized traversal on spread data must test far fewer
+// candidates than quadratic in low dimensions.
+func TestJoinPrunes(t *testing.T) {
+	ds := synth.Generate(synth.Config{N: 4000, Dims: 3, Seed: 9, Dist: synth.Uniform})
+	var c stats.Counters
+	var sink pairs.Counter
+	SelfJoin(ds, join.Options{Metric: vec.L2, Eps: 0.03, Counters: &c}, &sink)
+	quad := int64(ds.Len()) * int64(ds.Len()-1) / 2
+	if got := c.Snapshot().Candidates; got*4 > quad {
+		t.Errorf("candidates %d not well below quadratic %d", got, quad)
+	}
+}
+
+func TestEvenChunks(t *testing.T) {
+	for _, tc := range []struct {
+		n, max int
+	}{{1, 32}, {32, 32}, {33, 32}, {100, 32}, {5, 4}, {1000, 7}} {
+		chunks := evenChunks(tc.n, tc.max)
+		total := 0
+		prevEnd := 0
+		for _, c := range chunks {
+			if c.start != prevEnd {
+				t.Fatalf("n=%d max=%d: gap at %d", tc.n, tc.max, c.start)
+			}
+			size := c.end - c.start
+			if size > tc.max || size < 1 {
+				t.Fatalf("n=%d max=%d: chunk size %d", tc.n, tc.max, size)
+			}
+			if len(chunks) > 1 && size < tc.max/2 {
+				t.Fatalf("n=%d max=%d: chunk below min fill (%d)", tc.n, tc.max, size)
+			}
+			total += size
+			prevEnd = c.end
+		}
+		if total != tc.n {
+			t.Fatalf("n=%d max=%d: chunks cover %d", tc.n, tc.max, total)
+		}
+	}
+}

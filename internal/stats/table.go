@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of an experiment report and renders them as an
+// aligned text table (for the terminal) or CSV (for plotting). The
+// reproduction harness builds one Table per paper figure/table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row, formatting each cell with %v. It panics if the cell
+// count disagrees with the header count (a malformed experiment report
+// should fail loudly, not misalign silently).
+func (t *Table) AddRow(cells ...any) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("stats: row of %d cells in a %d-column table %q", len(cells), len(t.Headers), t.Title))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat renders floats compactly: integers without decimals, small
+// magnitudes with enough precision to be useful.
+func formatFloat(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v != 0 && (v < 0.001 && v > -0.001):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV with the title as a leading comment.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "# %s\n", t.Title)
+	}
+	sb.WriteString(strings.Join(t.Headers, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.WriteText(&sb)
+	return sb.String()
+}

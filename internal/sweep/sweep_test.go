@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"testing"
+
+	"simjoin/internal/dataset"
+	"simjoin/internal/join"
+	"simjoin/internal/jointest"
+	"simjoin/internal/pairs"
+	"simjoin/internal/stats"
+	"simjoin/internal/vec"
+)
+
+func TestSelfJoinOracle(t *testing.T) {
+	jointest.CheckSelf(t, SelfJoin, 60, 101)
+}
+
+func TestJoinOracle(t *testing.T) {
+	jointest.CheckJoin(t, Join, 60, 102)
+}
+
+func TestSelfJoinAdversarial(t *testing.T) {
+	jointest.CheckSelfAdversarial(t, SelfJoin)
+}
+
+// TestStripFilterPrunes: on well-spread 1-D-sortable data the sweep must
+// inspect far fewer candidates than the quadratic total.
+func TestStripFilterPrunes(t *testing.T) {
+	ds := dataset.New(1, 1000)
+	for i := 0; i < 1000; i++ {
+		ds.Append([]float64{float64(i)})
+	}
+	var c stats.Counters
+	var sink pairs.Counter
+	SelfJoin(ds, join.Options{Metric: vec.L2, Eps: 2, Counters: &c}, &sink)
+	s := c.Snapshot()
+	if s.Candidates > 3000 { // ~2 per point, quadratic would be ~500k
+		t.Errorf("candidates = %d, strip filter not pruning", s.Candidates)
+	}
+	if sink.N() != 999+998 { // gaps of 1 and 2
+		t.Errorf("results = %d, want %d", sink.N(), 999+998)
+	}
+}
+
+// TestWindowStartMonotone: the two-set merge must not miss pairs when a has
+// duplicate dim-0 values (window start must not overshoot).
+func TestWindowStartMonotone(t *testing.T) {
+	a := dataset.FromPoints([][]float64{{5}, {5}, {5}})
+	b := dataset.FromPoints([][]float64{{4.5}, {5.5}, {4.9}})
+	col := &pairs.Collector{}
+	Join(a, b, join.Options{Metric: vec.L2, Eps: 0.6}, col)
+	if len(col.Pairs) != 9 {
+		t.Errorf("%d pairs, want 9 (every a within 0.6 of every b)", len(col.Pairs))
+	}
+}
+
+func TestInvalidOptionsPanics(t *testing.T) {
+	ds := dataset.FromPoints([][]float64{{0}})
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid options did not panic")
+		}
+	}()
+	SelfJoin(ds, join.Options{Eps: -1}, &pairs.Counter{})
+}

@@ -1,0 +1,245 @@
+// Package synth generates the synthetic workloads used throughout the
+// evaluation: uniform, Gaussian-cluster, correlated, and Zipf-skewed point
+// sets, plus random-walk time sequences for the time-series-matching
+// application. Every generator is deterministic for a given seed, so every
+// experiment in the harness is exactly reproducible.
+//
+// Real traces from the paper's evaluation (feature vectors extracted from a
+// production time-sequence warehouse) are not available; the random-walk
+// sequences stand in for them because DFT feature extraction relies only on
+// the 1/f energy concentration of brownian-like series, which random walks
+// exhibit. See DESIGN.md §2 for the substitution record.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"simjoin/internal/dataset"
+)
+
+// Distribution selects a synthetic data distribution.
+type Distribution int
+
+const (
+	// Uniform draws each coordinate independently from U[0, 1).
+	Uniform Distribution = iota
+	// GaussianClusters draws points from k Gaussian blobs with uniformly
+	// placed centers.
+	GaussianClusters
+	// Correlated draws points near the main diagonal: one latent uniform
+	// value per point plus per-dimension Gaussian jitter. This models the
+	// strong inter-dimension correlation of real feature vectors.
+	Correlated
+	// Zipf skews every dimension toward 0 with a power-law-shaped density,
+	// producing the dense-corner hot spot that stresses grid-based methods.
+	Zipf
+)
+
+// String returns the generator's conventional name.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case GaussianClusters:
+		return "clustered"
+	case Correlated:
+		return "correlated"
+	case Zipf:
+		return "zipf"
+	}
+	return fmt.Sprintf("Distribution(%d)", int(d))
+}
+
+// ParseDistribution converts a name printed by String back to a
+// Distribution.
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "clustered", "gaussian":
+		return GaussianClusters, nil
+	case "correlated":
+		return Correlated, nil
+	case "zipf", "skewed":
+		return Zipf, nil
+	}
+	return Uniform, fmt.Errorf("synth: unknown distribution %q", s)
+}
+
+// AllDistributions lists every distribution, in the order the evaluation
+// reports them.
+func AllDistributions() []Distribution {
+	return []Distribution{Uniform, GaussianClusters, Correlated, Zipf}
+}
+
+// Config parameterizes a generator run. Zero values get sensible defaults
+// from Generate.
+type Config struct {
+	N    int          // number of points (required, > 0)
+	Dims int          // dimensionality (required, > 0)
+	Seed int64        // PRNG seed; same seed → same dataset
+	Dist Distribution // which generator
+
+	Clusters   int     // GaussianClusters: blob count (default 10)
+	ClusterStd float64 // GaussianClusters: blob standard deviation (default 0.05)
+	CorrJitter float64 // Correlated: per-dimension jitter std (default 0.05)
+	ZipfTheta  float64 // Zipf: skew exponent (default 1.0; larger = more skew)
+}
+
+// Generate produces a dataset according to cfg. All generators emit
+// coordinates in [0, 1], which the join algorithms rely on only through
+// Dataset.Bounds (nothing assumes the unit cube). It panics if N or Dims is
+// not positive, because a silent empty dataset would invalidate an entire
+// experiment run.
+func Generate(cfg Config) *dataset.Dataset {
+	if cfg.N <= 0 || cfg.Dims <= 0 {
+		panic(fmt.Sprintf("synth: invalid config N=%d Dims=%d", cfg.N, cfg.Dims))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := dataset.New(cfg.Dims, cfg.N)
+	p := make([]float64, cfg.Dims)
+	switch cfg.Dist {
+	case Uniform:
+		for i := 0; i < cfg.N; i++ {
+			for k := range p {
+				p[k] = rng.Float64()
+			}
+			ds.Append(p)
+		}
+
+	case GaussianClusters:
+		k := cfg.Clusters
+		if k <= 0 {
+			k = 10
+		}
+		std := cfg.ClusterStd
+		if std <= 0 {
+			std = 0.05
+		}
+		centers := make([][]float64, k)
+		for c := range centers {
+			centers[c] = make([]float64, cfg.Dims)
+			for d := range centers[c] {
+				centers[c][d] = rng.Float64()
+			}
+		}
+		for i := 0; i < cfg.N; i++ {
+			c := centers[rng.Intn(k)]
+			for d := range p {
+				p[d] = clamp01(c[d] + rng.NormFloat64()*std)
+			}
+			ds.Append(p)
+		}
+
+	case Correlated:
+		jit := cfg.CorrJitter
+		if jit <= 0 {
+			jit = 0.05
+		}
+		for i := 0; i < cfg.N; i++ {
+			base := rng.Float64()
+			for d := range p {
+				p[d] = clamp01(base + rng.NormFloat64()*jit)
+			}
+			ds.Append(p)
+		}
+
+	case Zipf:
+		theta := cfg.ZipfTheta
+		if theta <= 0 {
+			theta = 1.0
+		}
+		// Inverse-CDF of the density f(x) ∝ (1+x)^{-theta-ish}: use
+		// x = u^{1+theta}, which concentrates mass near 0 and needs no
+		// discrete Zipf machinery while keeping a heavy skew knob.
+		exp := 1 + theta
+		for i := 0; i < cfg.N; i++ {
+			for d := range p {
+				p[d] = math.Pow(rng.Float64(), exp)
+			}
+			ds.Append(p)
+		}
+
+	default:
+		panic(fmt.Sprintf("synth: unknown distribution %d", int(cfg.Dist)))
+	}
+	return ds
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// RandomWalks generates n time sequences of the given length: each sequence
+// starts at a uniform level in [0, 100) and takes N(0, step²) increments.
+// These stand in for the stock/utilization traces of the original
+// evaluation (see the package comment).
+func RandomWalks(n, length int, step float64, seed int64) [][]float64 {
+	if n <= 0 || length <= 0 {
+		panic(fmt.Sprintf("synth: invalid series config n=%d length=%d", n, length))
+	}
+	if step <= 0 {
+		step = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		s := make([]float64, length)
+		v := rng.Float64() * 100
+		for t := range s {
+			v += rng.NormFloat64() * step
+			s[t] = v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// SeriesDataset packs equal-length sequences into a dataset (each sequence
+// becomes one length-dimensional point), so time sequences can be joined
+// directly in the raw space.
+func SeriesDataset(series [][]float64) *dataset.Dataset {
+	if len(series) == 0 {
+		panic("synth: SeriesDataset of no sequences")
+	}
+	ds := dataset.New(len(series[0]), len(series))
+	for i, s := range series {
+		if len(s) != len(series[0]) {
+			panic(fmt.Sprintf("synth: sequence %d has length %d, want %d", i, len(s), len(series[0])))
+		}
+		ds.Append(s)
+	}
+	return ds
+}
+
+// SimilarWalkPairs generates n base random walks plus, for each of the first
+// dup of them, a near-duplicate obtained by adding small N(0, noise²)
+// perturbations. It returns the 2·dup + (n−dup) sequences with duplicates
+// appended after the bases, so callers know pair (i, n+i) for i < dup is
+// planted. Used by the time-series experiment to measure recall of the
+// DFT-feature filter.
+func SimilarWalkPairs(n, dup, length int, step, noise float64, seed int64) [][]float64 {
+	if dup > n {
+		panic(fmt.Sprintf("synth: dup %d exceeds n %d", dup, n))
+	}
+	base := RandomWalks(n, length, step, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	out := make([][]float64, 0, n+dup)
+	out = append(out, base...)
+	for i := 0; i < dup; i++ {
+		d := make([]float64, length)
+		for t, v := range base[i] {
+			d[t] = v + rng.NormFloat64()*noise
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistributionStringParseRoundTrip(t *testing.T) {
+	for _, d := range AllDistributions() {
+		back, err := ParseDistribution(d.String())
+		if err != nil || back != d {
+			t.Errorf("round trip of %v failed: %v, %v", d, back, err)
+		}
+	}
+	if _, err := ParseDistribution("nope"); err == nil {
+		t.Error("ParseDistribution(nope) succeeded")
+	}
+	if s := Distribution(77).String(); s != "Distribution(77)" {
+		t.Errorf("unknown distribution String = %q", s)
+	}
+}
+
+func TestGenerateShapeAndRange(t *testing.T) {
+	for _, dist := range AllDistributions() {
+		ds := Generate(Config{N: 500, Dims: 6, Seed: 1, Dist: dist})
+		if ds.Len() != 500 || ds.Dims() != 6 {
+			t.Fatalf("%v: shape %dx%d", dist, ds.Len(), ds.Dims())
+		}
+		b := ds.Bounds()
+		for k := 0; k < 6; k++ {
+			if b.Lo[k] < 0 || b.Hi[k] > 1 {
+				t.Fatalf("%v: dim %d out of unit range [%g, %g]", dist, k, b.Lo[k], b.Hi[k])
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, dist := range AllDistributions() {
+		a := Generate(Config{N: 200, Dims: 4, Seed: 42, Dist: dist})
+		b := Generate(Config{N: 200, Dims: 4, Seed: 42, Dist: dist})
+		if !a.Equal(b) {
+			t.Errorf("%v: same seed produced different data", dist)
+		}
+		c := Generate(Config{N: 200, Dims: 4, Seed: 43, Dist: dist})
+		if a.Equal(c) {
+			t.Errorf("%v: different seeds produced identical data", dist)
+		}
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zero N":    {N: 0, Dims: 3},
+		"zero dims": {N: 10, Dims: 0},
+		"bad dist":  {N: 10, Dims: 3, Dist: Distribution(99)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+// TestUniformMoments sanity-checks the uniform generator's first two
+// moments: mean ≈ 1/2, variance ≈ 1/12 per dimension.
+func TestUniformMoments(t *testing.T) {
+	ds := Generate(Config{N: 20000, Dims: 3, Seed: 5, Dist: Uniform})
+	for k := 0; k < 3; k++ {
+		var sum, sq float64
+		for i := 0; i < ds.Len(); i++ {
+			v := ds.Point(i)[k]
+			sum += v
+			sq += v * v
+		}
+		n := float64(ds.Len())
+		mean := sum / n
+		variance := sq/n - mean*mean
+		if math.Abs(mean-0.5) > 0.02 {
+			t.Errorf("dim %d mean = %g, want ≈0.5", k, mean)
+		}
+		if math.Abs(variance-1.0/12) > 0.01 {
+			t.Errorf("dim %d variance = %g, want ≈%g", k, variance, 1.0/12)
+		}
+	}
+}
+
+// TestClusteredIsClustered: the average nearest-cluster-center spread must
+// be far below uniform's, i.e. most points sit near one of the blobs. We
+// test indirectly: the mean pairwise distance of a clustered set is smaller
+// than that of a uniform set of the same size.
+func TestClusteredIsClustered(t *testing.T) {
+	u := Generate(Config{N: 400, Dims: 8, Seed: 6, Dist: Uniform})
+	c := Generate(Config{N: 400, Dims: 8, Seed: 6, Dist: GaussianClusters, Clusters: 5, ClusterStd: 0.02})
+	if meanNNDist(c) >= meanNNDist(u) {
+		t.Errorf("clustered mean-NN %g not below uniform %g", meanNNDist(c), meanNNDist(u))
+	}
+}
+
+func meanNNDist(ds interface {
+	Len() int
+	Point(int) []float64
+}) float64 {
+	var total float64
+	n := ds.Len()
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		pi := ds.Point(i)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			pj := ds.Point(j)
+			var s float64
+			for k := range pi {
+				d := pi[k] - pj[k]
+				s += d * d
+			}
+			if s < best {
+				best = s
+			}
+		}
+		total += math.Sqrt(best)
+	}
+	return total / float64(n)
+}
+
+// TestCorrelatedHugsDiagonal: coordinates of a correlated point should be
+// near each other (small per-point spread), unlike uniform.
+func TestCorrelatedHugsDiagonal(t *testing.T) {
+	ds := Generate(Config{N: 1000, Dims: 6, Seed: 7, Dist: Correlated, CorrJitter: 0.02})
+	var spread float64
+	for i := 0; i < ds.Len(); i++ {
+		p := ds.Point(i)
+		lo, hi := p[0], p[0]
+		for _, v := range p[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		spread += hi - lo
+	}
+	spread /= float64(ds.Len())
+	if spread > 0.25 {
+		t.Errorf("mean per-point spread %g, want small (diagonal hugging)", spread)
+	}
+}
+
+// TestZipfSkewsTowardZero: far more mass below 0.25 than uniform's 25%
+// (with θ=1 the transform is u², so exactly half the mass lies below 0.25),
+// and more skew with larger θ.
+func TestZipfSkewsTowardZero(t *testing.T) {
+	massBelow := func(theta, cut float64) float64 {
+		ds := Generate(Config{N: 5000, Dims: 1, Seed: 8, Dist: Zipf, ZipfTheta: theta})
+		below := 0
+		for i := 0; i < ds.Len(); i++ {
+			if ds.Point(i)[0] < cut {
+				below++
+			}
+		}
+		return float64(below) / float64(ds.Len())
+	}
+	if frac := massBelow(1, 0.25); frac < 0.45 {
+		t.Errorf("θ=1: %.0f%% of mass below 0.25, want ≈50%% (uniform would be 25%%)", frac*100)
+	}
+	if m1, m3 := massBelow(1, 0.1), massBelow(3, 0.1); m3 <= m1 {
+		t.Errorf("θ=3 mass below 0.1 (%g) not above θ=1 (%g)", m3, m1)
+	}
+}
+
+func TestRandomWalks(t *testing.T) {
+	ws := RandomWalks(10, 64, 1, 9)
+	if len(ws) != 10 || len(ws[0]) != 64 {
+		t.Fatalf("shape %dx%d", len(ws), len(ws[0]))
+	}
+	again := RandomWalks(10, 64, 1, 9)
+	for i := range ws {
+		for t2 := range ws[i] {
+			if ws[i][t2] != again[i][t2] {
+				t.Fatal("RandomWalks not deterministic")
+			}
+		}
+	}
+	// Steps should look like N(0,1): mean |step| around 0.8, not 0 or 10.
+	var mean float64
+	cnt := 0
+	for _, w := range ws {
+		for t2 := 1; t2 < len(w); t2++ {
+			mean += math.Abs(w[t2] - w[t2-1])
+			cnt++
+		}
+	}
+	mean /= float64(cnt)
+	if mean < 0.4 || mean > 1.6 {
+		t.Errorf("mean |step| = %g, want ≈0.8", mean)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RandomWalks(0, ...) did not panic")
+		}
+	}()
+	RandomWalks(0, 10, 1, 1)
+}
+
+func TestSimilarWalkPairs(t *testing.T) {
+	seqs := SimilarWalkPairs(20, 5, 32, 1, 0.01, 11)
+	if len(seqs) != 25 {
+		t.Fatalf("len = %d, want 25", len(seqs))
+	}
+	// Planted pair (i, 20+i) must be much closer than a random pair.
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	for i := 0; i < 5; i++ {
+		planted := dist(seqs[i], seqs[20+i])
+		random := dist(seqs[i], seqs[(i+7)%20])
+		if planted >= random {
+			t.Errorf("planted pair %d distance %g not below random %g", i, planted, random)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dup > n did not panic")
+		}
+	}()
+	SimilarWalkPairs(3, 4, 8, 1, 0.1, 1)
+}
+
+func TestSeriesDataset(t *testing.T) {
+	series := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	ds := SeriesDataset(series)
+	if ds.Len() != 2 || ds.Dims() != 3 || ds.Point(1)[2] != 6 {
+		t.Fatalf("shape/content wrong: %v", ds.Flat())
+	}
+	for name, fn := range map[string]func(){
+		"empty":  func() { SeriesDataset(nil) },
+		"ragged": func() { SeriesDataset([][]float64{{1}, {1, 2}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,73 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchVectors(d int) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := make([]float64, d), make([]float64, d)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	return a, b
+}
+
+func BenchmarkWithinSqL2(b *testing.B) {
+	for _, d := range []int{4, 8, 16, 32, 64} {
+		x, y := benchVectors(d)
+		// Accepting threshold: full accumulation, no early exit.
+		b.Run("accept/d="+itoa(d), func(b *testing.B) {
+			t := 1e18
+			for i := 0; i < b.N; i++ {
+				if !WithinSqL2(x, y, t) {
+					b.Fatal("unexpected reject")
+				}
+			}
+		})
+		// Rejecting threshold: early exit path.
+		b.Run("reject/d="+itoa(d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if WithinSqL2(x, y, 1e-9) {
+					b.Fatal("unexpected accept")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDistSqL2(b *testing.B) {
+	for _, d := range []int{8, 32} {
+		x, y := benchVectors(d)
+		b.Run("d="+itoa(d), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += DistSqL2(x, y)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkWithinL1(b *testing.B) {
+	x, y := benchVectors(16)
+	for i := 0; i < b.N; i++ {
+		WithinL1(x, y, 0.5)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,242 @@
+// Package zorder implements the space-filling-curve similarity join
+// (Orenstein-style): points are sorted along a Z-order (Morton) curve,
+// packed into consecutive blocks, and blocks are joined pairwise with
+// bounding-box pruning. The curve gives blocks spatial locality, so most
+// block pairs prune; but a single curve cannot preserve ε-proximity in all
+// dimensions at once, which is why the method trails the ε-kdB tree as
+// dimensionality grows — another axis of the evaluation.
+//
+// The Morton key is also exported for reuse as a bulk-loading sort key
+// (package rtree packs its leaves in Z-order).
+package zorder
+
+import (
+	"sort"
+
+	"simjoin/internal/dataset"
+	"simjoin/internal/join"
+	"simjoin/internal/pairs"
+	"simjoin/internal/vec"
+)
+
+// DefaultBlockSize is the number of curve-consecutive points joined as one
+// block.
+const DefaultBlockSize = 256
+
+// BitsPerDim returns how many bits of each coordinate a 64-bit Morton key
+// can hold for d interleaved dimensions (at least 1 for d ≤ 64; dimensions
+// beyond 64 simply do not participate in the key).
+func BitsPerDim(d int) int {
+	if d <= 0 {
+		panic("zorder: non-positive dimensionality")
+	}
+	if d > 64 {
+		return 1
+	}
+	bits := 64 / d
+	if bits > 16 {
+		bits = 16 // finer than 16 bits/dim buys nothing for ordering
+	}
+	return bits
+}
+
+// Key maps point p to its Morton code: each coordinate is normalized by box
+// to [0, 1], quantized to BitsPerDim(d) bits, and the bits of all
+// dimensions are interleaved most-significant first.
+func Key(p []float64, box vec.Box) uint64 {
+	d := len(p)
+	bits := BitsPerDim(d)
+	kd := d
+	if kd > 64 {
+		kd = 64
+	}
+	maxQ := uint64(1)<<bits - 1
+	var q [64]uint64
+	for k := 0; k < kd; k++ {
+		ext := box.Hi[k] - box.Lo[k]
+		var v float64
+		if ext > 0 {
+			v = (p[k] - box.Lo[k]) / ext
+		}
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		qv := uint64(v * float64(maxQ))
+		if qv > maxQ {
+			qv = maxQ
+		}
+		q[k] = qv
+	}
+	var key uint64
+	for b := bits - 1; b >= 0; b-- {
+		for k := 0; k < kd; k++ {
+			key = key<<1 | (q[k]>>uint(b))&1
+		}
+	}
+	return key
+}
+
+// KeyFunc maps a point (normalized by a box) to its position on a
+// space-filling curve. Package zorder provides Key (Morton); package
+// hilbert provides a Hilbert-curve key with the same signature.
+type KeyFunc func(p []float64, box vec.Box) uint64
+
+// block is a run of curve-consecutive points with its bounding box.
+type block struct {
+	idx []int32
+	box vec.Box
+}
+
+// makeBlocks sorts ds's indexes along the curve (normalizing by box) and
+// cuts them into blocks of the given size.
+func makeBlocks(ds *dataset.Dataset, box vec.Box, blockSize int, key KeyFunc) []block {
+	n := ds.Len()
+	type keyed struct {
+		key uint64
+		idx int32
+	}
+	ks := make([]keyed, n)
+	for i := 0; i < n; i++ {
+		ks[i] = keyed{key: key(ds.Point(i), box), idx: int32(i)}
+	}
+	sort.Slice(ks, func(a, b int) bool { return ks[a].key < ks[b].key })
+	var blocks []block
+	for start := 0; start < n; start += blockSize {
+		end := start + blockSize
+		if end > n {
+			end = n
+		}
+		idx := make([]int32, end-start)
+		for i := range idx {
+			idx[i] = ks[start+i].idx
+		}
+		b := vec.BoundingBox(len(idx), func(i int) []float64 { return ds.Point(int(idx[i])) })
+		blocks = append(blocks, block{idx: idx, box: b})
+	}
+	return blocks
+}
+
+// SortedIndexes returns ds's point indexes ordered along the Z-curve — the
+// bulk-load ordering used by package rtree.
+func SortedIndexes(ds *dataset.Dataset) []int32 {
+	box := ds.Bounds()
+	blocks := makeBlocks(ds, box, ds.Len(), Key)
+	return blocks[0].idx
+}
+
+// SelfJoin reports every unordered pair within ε once, using the default
+// block size.
+func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
+	SelfJoinBlock(ds, opt, DefaultBlockSize, sink)
+}
+
+// SelfJoinBlock is SelfJoin with an explicit block size.
+func SelfJoinBlock(ds *dataset.Dataset, opt join.Options, blockSize int, sink pairs.Sink) {
+	SelfJoinKeyed(ds, opt, blockSize, Key, sink)
+}
+
+// SelfJoinKeyed is SelfJoinBlock with an explicit curve key, so other
+// space-filling curves (package hilbert) reuse the block machinery.
+func SelfJoinKeyed(ds *dataset.Dataset, opt join.Options, blockSize int, key KeyFunc, sink pairs.Sink) {
+	opt.MustValidate()
+	if blockSize < 1 {
+		blockSize = DefaultBlockSize
+	}
+	if ds.Len() < 2 {
+		return
+	}
+	c := opt.Stats()
+	t := opt.Threshold()
+	blocks := makeBlocks(ds, ds.Bounds(), blockSize, key)
+	var cand, res, visits int64
+	for bi := range blocks {
+		a := &blocks[bi]
+		// Within-block pairs.
+		for x := 0; x < len(a.idx); x++ {
+			px := ds.Point(int(a.idx[x]))
+			for y := x + 1; y < len(a.idx); y++ {
+				cand++
+				if vec.Within(opt.Metric, px, ds.Point(int(a.idx[y])), t) {
+					res++
+					sink.Emit(int(a.idx[x]), int(a.idx[y]))
+				}
+			}
+		}
+		// Cross-block pairs, MBR-pruned.
+		for bj := bi + 1; bj < len(blocks); bj++ {
+			b := &blocks[bj]
+			visits++
+			if !a.box.WithinDist(opt.Metric, b.box, t) {
+				continue
+			}
+			for _, ix := range a.idx {
+				px := ds.Point(int(ix))
+				for _, iy := range b.idx {
+					cand++
+					if vec.Within(opt.Metric, px, ds.Point(int(iy)), t) {
+						res++
+						sink.Emit(int(ix), int(iy))
+					}
+				}
+			}
+		}
+	}
+	c.AddCandidates(cand)
+	c.AddDistComps(cand)
+	c.AddResults(res)
+	c.AddNodeVisits(visits)
+}
+
+// Join reports every (a-index, b-index) pair within ε, blocking both sets
+// along a shared curve.
+func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
+	JoinBlock(a, b, opt, DefaultBlockSize, sink)
+}
+
+// JoinBlock is Join with an explicit block size.
+func JoinBlock(a, b *dataset.Dataset, opt join.Options, blockSize int, sink pairs.Sink) {
+	JoinKeyed(a, b, opt, blockSize, Key, sink)
+}
+
+// JoinKeyed is JoinBlock with an explicit curve key.
+func JoinKeyed(a, b *dataset.Dataset, opt join.Options, blockSize int, key KeyFunc, sink pairs.Sink) {
+	opt.MustValidate()
+	if blockSize < 1 {
+		blockSize = DefaultBlockSize
+	}
+	if a.Len() == 0 || b.Len() == 0 {
+		return
+	}
+	c := opt.Stats()
+	t := opt.Threshold()
+	box := a.Bounds()
+	box.ExtendBox(b.Bounds())
+	ba := makeBlocks(a, box, blockSize, key)
+	bb := makeBlocks(b, box, blockSize, key)
+	var cand, res, visits int64
+	for i := range ba {
+		for j := range bb {
+			visits++
+			if !ba[i].box.WithinDist(opt.Metric, bb[j].box, t) {
+				continue
+			}
+			for _, ix := range ba[i].idx {
+				px := a.Point(int(ix))
+				for _, iy := range bb[j].idx {
+					cand++
+					if vec.Within(opt.Metric, px, b.Point(int(iy)), t) {
+						res++
+						sink.Emit(int(ix), int(iy))
+					}
+				}
+			}
+		}
+	}
+	c.AddCandidates(cand)
+	c.AddDistComps(cand)
+	c.AddResults(res)
+	c.AddNodeVisits(visits)
+}

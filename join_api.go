@@ -1,0 +1,215 @@
+package simjoin
+
+import (
+	"runtime"
+	"time"
+
+	"simjoin/internal/brute"
+	"simjoin/internal/core"
+	"simjoin/internal/dataset"
+	"simjoin/internal/estimate"
+	"simjoin/internal/grid"
+	"simjoin/internal/hilbert"
+	"simjoin/internal/join"
+	"simjoin/internal/kdtree"
+	"simjoin/internal/pairs"
+	"simjoin/internal/rplus"
+	"simjoin/internal/rtree"
+	"simjoin/internal/stats"
+	"simjoin/internal/sweep"
+	"simjoin/internal/zorder"
+)
+
+// algorithmImpl binds an Algorithm name to its entry points.
+type algorithmImpl struct {
+	self func(*dataset.Dataset, join.Options, pairs.Sink)
+	join func(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink)
+	// parallelSelf, when non-nil, is used instead of self when
+	// Options.Workers > 1.
+	parallelSelf func(*dataset.Dataset, join.Options, func() pairs.Sink)
+}
+
+var registry = map[Algorithm]algorithmImpl{
+	AlgorithmBrute: {self: brute.SelfJoin, join: brute.Join},
+	AlgorithmSweep: {self: sweep.SelfJoin, join: sweep.Join},
+	AlgorithmKDTree: {
+		self: kdtree.SelfJoin,
+		join: kdtree.Join,
+		parallelSelf: func(ds *dataset.Dataset, opt join.Options, newSink func() pairs.Sink) {
+			kdtree.Build(ds, 0).SelfJoinParallel(opt, newSink)
+		},
+	},
+	AlgorithmRTree:   {self: rtree.SelfJoin, join: rtree.Join},
+	AlgorithmRPlus:   {self: rplus.SelfJoin, join: rplus.Join},
+	AlgorithmZOrder:  {self: zorder.SelfJoin, join: zorder.Join},
+	AlgorithmHilbert: {self: hilbert.SelfJoin, join: hilbert.Join},
+	AlgorithmAuto:    {}, // resolved per call in resolveAlgorithm
+	AlgorithmGrid: {
+		self: grid.SelfJoin,
+		join: grid.Join,
+		parallelSelf: func(ds *dataset.Dataset, opt join.Options, newSink func() pairs.Sink) {
+			grid.SelfJoinParallel(ds, opt, grid.DefaultConfig(), newSink)
+		},
+	},
+	AlgorithmEKDB: {}, // wired in init: needs per-call Config
+}
+
+func init() {
+	impl := registry[AlgorithmEKDB]
+	impl.self = core.SelfJoin
+	impl.join = core.Join
+	registry[AlgorithmEKDB] = impl
+}
+
+// toInternal converts public options to the internal contract.
+func (o Options) toInternal(c *stats.Counters) join.Options {
+	return join.Options{
+		Metric:   o.Metric.internal(),
+		Eps:      o.Eps,
+		Counters: c,
+		Workers:  o.Workers,
+	}
+}
+
+// SelfJoin reports every unordered pair of points in ds within opt.Eps,
+// each exactly once with I < J.
+func SelfJoin(ds *Dataset, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	var counters stats.Counters
+	iopt := opt.toInternal(&counters)
+	algo := resolveAlgorithm(ds, opt)
+	impl := registry[algo]
+
+	watch := stats.Start()
+	if !opt.collect() {
+		// Counting-only: no pair buffering at all.
+		var sink pairs.Counter
+		switch {
+		case algo == AlgorithmEKDB:
+			runEKDBSelfCounting(ds.internal(), iopt, opt, &sink)
+		case opt.Workers > 1 && impl.parallelSelf != nil:
+			impl.parallelSelf(ds.internal(), iopt, func() pairs.Sink { return &sink })
+		default:
+			impl.self(ds.internal(), iopt, &sink)
+		}
+		return countResult(sink.N(), counters.Snapshot(), watch.Elapsed()), nil
+	}
+	var collected []pairs.Pair
+	switch {
+	case algo == AlgorithmEKDB:
+		collected = runEKDBSelf(ds.internal(), iopt, opt)
+	case opt.Workers > 1 && impl.parallelSelf != nil:
+		sh := pairs.NewSharded(true)
+		impl.parallelSelf(ds.internal(), iopt, sh.Handle)
+		collected = sh.Merged()
+	default:
+		col := &pairs.Collector{Canonical: true}
+		impl.self(ds.internal(), iopt, col)
+		collected = col.Sorted()
+	}
+	elapsed := watch.Elapsed()
+	return buildResult(collected, counters.Snapshot(), elapsed, opt), nil
+}
+
+// runEKDBSelfCounting is runEKDBSelf without pair storage.
+func runEKDBSelfCounting(ds *dataset.Dataset, iopt join.Options, opt Options, sink pairs.Sink) {
+	if ds.Len() < 2 {
+		return
+	}
+	cfg := core.Config{LeafThreshold: opt.LeafThreshold, BiasedSplit: opt.BiasedSplit}
+	t := core.Build(ds, opt.Eps, cfg)
+	if opt.Workers > 1 {
+		t.SelfJoinParallel(iopt, func() pairs.Sink { return sink })
+		return
+	}
+	t.SelfJoin(iopt, sink)
+}
+
+// countResult assembles a Result for counting-only runs.
+func countResult(n int64, snap stats.Snapshot, elapsed time.Duration) *Result {
+	return &Result{Stats: Stats{
+		Candidates: snap.Candidates,
+		DistComps:  snap.DistComps,
+		Results:    n,
+		NodeVisits: snap.NodeVisits,
+		Elapsed:    elapsed,
+	}}
+}
+
+// runEKDBSelf runs the ε-kdB self-join with the public options' tree knobs.
+func runEKDBSelf(ds *dataset.Dataset, iopt join.Options, opt Options) []pairs.Pair {
+	if ds.Len() < 2 {
+		return nil
+	}
+	cfg := core.Config{LeafThreshold: opt.LeafThreshold, BiasedSplit: opt.BiasedSplit}
+	t := core.Build(ds, opt.Eps, cfg)
+	if opt.Workers > 1 {
+		sh := pairs.NewSharded(true)
+		t.SelfJoinParallel(iopt, sh.Handle)
+		return sh.Merged()
+	}
+	col := &pairs.Collector{Canonical: true}
+	t.SelfJoin(iopt, col)
+	return col.Sorted()
+}
+
+// Join reports every pair (i, j) with dist(a[i], b[j]) ≤ opt.Eps. The two
+// datasets must share one dimensionality.
+func Join(a, b *Dataset, opt Options) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	var counters stats.Counters
+	iopt := opt.toInternal(&counters)
+	algo := resolveAlgorithm(a, opt)
+	watch := stats.Start()
+	if !opt.collect() {
+		var sink pairs.Counter
+		registry[algo].join(a.internal(), b.internal(), iopt, &sink)
+		return countResult(sink.N(), counters.Snapshot(), watch.Elapsed()), nil
+	}
+	col := &pairs.Collector{}
+	registry[algo].join(a.internal(), b.internal(), iopt, col)
+	elapsed := watch.Elapsed()
+	return buildResult(col.Sorted(), counters.Snapshot(), elapsed, opt), nil
+}
+
+func buildResult(ps []pairs.Pair, snap stats.Snapshot, elapsed time.Duration, opt Options) *Result {
+	res := &Result{Stats: Stats{
+		Candidates: snap.Candidates,
+		DistComps:  snap.DistComps,
+		Results:    int64(len(ps)),
+		NodeVisits: snap.NodeVisits,
+		Elapsed:    elapsed,
+	}}
+	if opt.collect() {
+		res.Pairs = make([]Pair, len(ps))
+		for i, p := range ps {
+			res.Pairs[i] = Pair{I: int(p.I), J: int(p.J)}
+		}
+	}
+	return res
+}
+
+// resolveAlgorithm maps the empty default and AlgorithmAuto to a concrete
+// algorithm. Auto samples ds (the only/outer set) to estimate selectivity;
+// the chooser's rules are documented in internal/estimate.
+func resolveAlgorithm(ds *Dataset, opt Options) Algorithm {
+	switch opt.Algorithm {
+	case "":
+		return AlgorithmEKDB
+	case AlgorithmAuto:
+		if ds.Len() == 0 {
+			return AlgorithmBrute
+		}
+		return Algorithm(estimate.Choose(ds.internal(), opt.Metric.internal(), opt.Eps, 0x5e1ec7))
+	default:
+		return opt.Algorithm
+	}
+}
+
+// DefaultWorkers returns the worker count the parallel variants use for
+// Options.Workers values ≤ 0 passed through to them (GOMAXPROCS).
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }

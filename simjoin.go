@@ -1,0 +1,164 @@
+package simjoin
+
+import (
+	"fmt"
+	"time"
+
+	"simjoin/internal/vec"
+)
+
+// Metric selects the distance function of a join.
+type Metric int
+
+const (
+	// L2 is the Euclidean metric (the default).
+	L2 Metric = iota
+	// L1 is the Manhattan metric.
+	L1
+	// Linf is the maximum (Chebyshev) metric.
+	Linf
+)
+
+// String returns the metric's conventional name.
+func (m Metric) String() string { return m.internal().String() }
+
+// ParseMetric converts "L2", "L1" or "Linf" (case-insensitive variants
+// accepted) to a Metric.
+func ParseMetric(s string) (Metric, error) {
+	im, err := vec.ParseMetric(s)
+	if err != nil {
+		return L2, err
+	}
+	switch im {
+	case vec.L1:
+		return L1, nil
+	case vec.Linf:
+		return Linf, nil
+	default:
+		return L2, nil
+	}
+}
+
+func (m Metric) internal() vec.Metric {
+	switch m {
+	case L1:
+		return vec.L1
+	case Linf:
+		return vec.Linf
+	default:
+		return vec.L2
+	}
+}
+
+// Algorithm names one of the library's join algorithms.
+type Algorithm string
+
+const (
+	// AlgorithmEKDB is the ε-kdB tree join — the library's primary
+	// algorithm and the right default for high-dimensional selective joins.
+	AlgorithmEKDB Algorithm = "ekdb"
+	// AlgorithmBrute is the O(N²) nested loop; fastest for very small
+	// inputs.
+	AlgorithmBrute Algorithm = "brute"
+	// AlgorithmSweep sorts on dimension 0 and sweeps an ε strip.
+	AlgorithmSweep Algorithm = "sweep"
+	// AlgorithmGrid hashes points into ε-cells and joins adjacent cells.
+	AlgorithmGrid Algorithm = "grid"
+	// AlgorithmKDTree answers one ε-range query per point over a k-d tree.
+	AlgorithmKDTree Algorithm = "kdtree"
+	// AlgorithmRTree joins two bulk-loaded R-trees by synchronized
+	// traversal.
+	AlgorithmRTree Algorithm = "rtree"
+	// AlgorithmRPlus joins two point R+-trees (disjoint sibling regions) by
+	// synchronized traversal — the original evaluation's strongest
+	// disk-era baseline.
+	AlgorithmRPlus Algorithm = "rplus"
+	// AlgorithmZOrder sorts along a Z-order curve and joins MBR-pruned
+	// blocks.
+	AlgorithmZOrder Algorithm = "zorder"
+	// AlgorithmHilbert is AlgorithmZOrder with a Hilbert curve — better
+	// worst-case locality for the same block machinery.
+	AlgorithmHilbert Algorithm = "hilbert"
+	// AlgorithmAuto estimates the workload's selectivity from a sample and
+	// picks brute, sweep, grid or ekdb accordingly (see internal/estimate
+	// for the calibrated rules).
+	AlgorithmAuto Algorithm = "auto"
+)
+
+// Algorithms lists every available algorithm in evaluation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgorithmBrute, AlgorithmSweep, AlgorithmGrid, AlgorithmKDTree,
+		AlgorithmRTree, AlgorithmRPlus, AlgorithmZOrder, AlgorithmHilbert,
+		AlgorithmEKDB,
+	}
+}
+
+// Options configures a join. Eps is required; everything else has a useful
+// zero value.
+type Options struct {
+	// Eps is the similarity threshold: pairs with dist ≤ Eps are reported.
+	Eps float64
+	// Metric selects the distance function (default L2).
+	Metric Metric
+	// Algorithm selects the join algorithm (default AlgorithmEKDB).
+	Algorithm Algorithm
+	// Workers enables the parallel variant when the algorithm has one
+	// (ekdb, grid) and is > 1; 0 or 1 runs serially.
+	Workers int
+	// LeafThreshold tunes the ε-kdB tree's leaf capacity (0 = default).
+	LeafThreshold int
+	// BiasedSplit makes the ε-kdB tree consume wide dimensions first.
+	BiasedSplit bool
+	// CollectPairs controls whether Result.Pairs is populated (default
+	// true). Disable for counting-only runs over huge outputs.
+	CollectPairs *bool
+}
+
+func (o Options) collect() bool { return o.CollectPairs == nil || *o.CollectPairs }
+
+func (o Options) validate() error {
+	if !(o.Eps > 0) {
+		return fmt.Errorf("simjoin: Eps must be positive, got %g", o.Eps)
+	}
+	if o.Metric != L2 && o.Metric != L1 && o.Metric != Linf {
+		return fmt.Errorf("simjoin: unknown metric %d", int(o.Metric))
+	}
+	if o.Algorithm != "" {
+		if _, ok := registry[o.Algorithm]; !ok {
+			return fmt.Errorf("simjoin: unknown algorithm %q", o.Algorithm)
+		}
+	}
+	return nil
+}
+
+// Pair is one join result: point i of the first (or only) set matches
+// point j of the second.
+type Pair struct {
+	I, J int
+}
+
+// Stats reports the work a join performed.
+type Stats struct {
+	// Candidates is the number of point pairs that reached the distance
+	// test after all filtering.
+	Candidates int64
+	// DistComps is the number of (possibly early-exited) distance
+	// evaluations.
+	DistComps int64
+	// Results is the number of pairs reported.
+	Results int64
+	// NodeVisits counts index-node visits for tree/block algorithms.
+	NodeVisits int64
+	// Elapsed is the wall-clock time of the whole join, build included.
+	Elapsed time.Duration
+}
+
+// Result is the outcome of a join.
+type Result struct {
+	// Pairs holds the matching pairs (self-joins: each unordered pair once
+	// with I < J). Empty when Options.CollectPairs is disabled.
+	Pairs []Pair
+	// Stats reports the work performed.
+	Stats Stats
+}
