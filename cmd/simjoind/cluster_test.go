@@ -1,0 +1,339 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"simjoin"
+	"simjoin/internal/cluster"
+	"simjoin/internal/rclient"
+)
+
+// startCluster boots n real in-process workers (the actual simjoind
+// handler) and a coordinator over them, all on httptest servers.
+func startCluster(t *testing.T, n int, margin float64) (coord *httptest.Server, workers []*httptest.Server) {
+	t.Helper()
+	urls := make([]string, n)
+	workers = make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		workers[i] = httptest.NewServer(newServer().handler())
+		urls[i] = workers[i].URL
+		t.Cleanup(workers[i].Close)
+	}
+	rc := &rclient.Client{
+		MaxRetries:     2,
+		BaseDelay:      2 * time.Millisecond,
+		MaxDelay:       10 * time.Millisecond,
+		AttemptTimeout: 10 * time.Second,
+		RetryPOST:      true,
+	}
+	coord = httptest.NewServer(newCoordServer(cluster.New(urls, margin, rc)).handler())
+	t.Cleanup(coord.Close)
+	return coord, workers
+}
+
+func clusterPoints(n, dims int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dims)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// pairsOf decodes a JSON pairs array into sorted [2]int form.
+func pairsOf(t *testing.T, body map[string]any) [][2]int {
+	t.Helper()
+	raw, ok := body["pairs"].([]any)
+	if !ok {
+		t.Fatalf("no pairs in %v", body)
+	}
+	out := make([][2]int, len(raw))
+	for i, p := range raw {
+		pp := p.([]any)
+		out[i] = [2]int{int(pp[0].(float64)), int(pp[1].(float64))}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// TestClusterSelfJoinMatchesSingleNode is the subsystem's acceptance
+// test: a distributed self-join over three real workers must return
+// exactly the single-node ekdb pair set.
+func TestClusterSelfJoinMatchesSingleNode(t *testing.T) {
+	const (
+		n, dims = 400, 6
+		eps     = 0.3
+		margin  = 0.35
+	)
+	coord, _ := startCluster(t, 3, margin)
+	pts := clusterPoints(n, dims, 101)
+	putPoints(t, coord.URL, "d", pts)
+
+	resp, body := doJSON(t, http.MethodPost, coord.URL+"/datasets/d/selfjoin",
+		map[string]any{"eps": eps, "algorithm": "ekdb"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster selfjoin: %d %v", resp.StatusCode, body)
+	}
+	if body["partial"] != false {
+		t.Fatalf("healthy cluster returned partial result: %v", body)
+	}
+	got := pairsOf(t, body)
+
+	res, err := simjoin.SelfJoin(simjoin.FromPoints(pts), simjoin.Options{Eps: eps, Algorithm: simjoin.AlgorithmEKDB})
+	if err != nil {
+		t.Fatalf("single-node join: %v", err)
+	}
+	want := make([][2]int, len(res.Pairs))
+	for i, p := range res.Pairs {
+		want[i] = [2]int{p.I, p.J}
+	}
+	sort.Slice(want, func(a, b int) bool {
+		if want[a][0] != want[b][0] {
+			return want[a][0] < want[b][0]
+		}
+		return want[a][1] < want[b][1]
+	})
+	if len(want) == 0 {
+		t.Fatal("oracle found no pairs — test parameters are vacuous")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cluster pair set differs from single node: got %d pairs, want %d", len(got), len(want))
+	}
+	if int(body["shards"].(float64)) < 2 {
+		t.Fatalf("join used %v shards — data was not distributed", body["shards"])
+	}
+}
+
+// TestClusterSelfJoinPartialOnDeadWorker is the degradation half of the
+// acceptance criteria: with one worker killed the coordinator still
+// answers, tagged partial with the failed shard named.
+func TestClusterSelfJoinPartialOnDeadWorker(t *testing.T) {
+	coord, workers := startCluster(t, 3, 0.35)
+	pts := clusterPoints(300, 4, 202)
+	putPoints(t, coord.URL, "d", pts)
+
+	_, full := doJSON(t, http.MethodPost, coord.URL+"/datasets/d/selfjoin", map[string]any{"eps": 0.25})
+	fullPairs := pairsOf(t, full)
+
+	workers[1].Close()
+	resp, body := doJSON(t, http.MethodPost, coord.URL+"/datasets/d/selfjoin", map[string]any{"eps": 0.25})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("selfjoin with dead worker: %d %v", resp.StatusCode, body)
+	}
+	if body["partial"] != true {
+		t.Fatalf("want partial=true with a dead worker, got %v", body)
+	}
+	failed, ok := body["failed_shards"].([]any)
+	if !ok || len(failed) == 0 {
+		t.Fatalf("failed_shards missing: %v", body)
+	}
+	named := false
+	for _, f := range failed {
+		fs := f.(map[string]any)
+		if fs["url"] == workers[1].URL && fs["error"] != "" {
+			named = true
+		}
+	}
+	if !named {
+		t.Fatalf("failed_shards %v does not name the dead worker %s", failed, workers[1].URL)
+	}
+	// Whatever survived must be a subset of the full pair set.
+	fullSet := make(map[[2]int]bool, len(fullPairs))
+	for _, p := range fullPairs {
+		fullSet[p] = true
+	}
+	partial := pairsOf(t, body)
+	if len(partial) >= len(fullPairs) {
+		t.Fatalf("partial result has %d pairs, full had %d — shard 1 contributed nothing?", len(partial), len(fullPairs))
+	}
+	for _, p := range partial {
+		if !fullSet[p] {
+			t.Fatalf("partial result invented pair %v", p)
+		}
+	}
+}
+
+func TestClusterRangeAndKNNMatchSingleNode(t *testing.T) {
+	coord, _ := startCluster(t, 4, 0.2)
+	pts := clusterPoints(350, 3, 303)
+	putPoints(t, coord.URL, "d", pts)
+	nn := simjoin.NewNeighborIndex(simjoin.FromPoints(pts))
+	q := []float64{0.4, 0.6, 0.5}
+
+	// Range, with a radius larger than the margin: routing covers every
+	// slab the ball touches regardless of the replication width.
+	resp, body := doJSON(t, http.MethodPost, coord.URL+"/datasets/d/range",
+		map[string]any{"point": q, "radius": 0.45})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("range: %d %v", resp.StatusCode, body)
+	}
+	got := []int{}
+	for _, v := range body["indexes"].([]any) {
+		got = append(got, int(v.(float64)))
+	}
+	want := nn.Range(q, simjoin.L2, 0.45)
+	sort.Ints(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cluster range = %d hits, single node = %d", len(got), len(want))
+	}
+
+	// KNN across all shards.
+	resp, body = doJSON(t, http.MethodPost, coord.URL+"/datasets/d/knn",
+		map[string]any{"point": q, "k": 12})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("knn: %d %v", resp.StatusCode, body)
+	}
+	gotN := body["neighbors"].([]any)
+	wantN := nn.KNN(q, 12, simjoin.L2)
+	if len(gotN) != len(wantN) {
+		t.Fatalf("knn returned %d neighbors, want %d", len(gotN), len(wantN))
+	}
+	for i := range wantN {
+		g := gotN[i].(map[string]any)
+		if int(g["index"].(float64)) != wantN[i].Index {
+			t.Fatalf("knn[%d] = %v, want index %d", i, g, wantN[i].Index)
+		}
+	}
+}
+
+func TestClusterCSVUploadAndList(t *testing.T) {
+	coord, _ := startCluster(t, 2, 0.2)
+	req, _ := http.NewRequest(http.MethodPut, coord.URL+"/datasets/c", strings.NewReader("0,0\n0.1,0\n0.9,0.9\n"))
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&info)
+	if resp.StatusCode != http.StatusOK || info["len"].(float64) != 3 || info["dims"].(float64) != 2 {
+		t.Fatalf("CSV upload via coordinator: %d %v", resp.StatusCode, info)
+	}
+	r2, err := http.Get(coord.URL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []map[string]any
+	_ = json.NewDecoder(r2.Body).Decode(&list)
+	r2.Body.Close()
+	if len(list) != 1 || list[0]["name"] != "c" || list[0]["len"].(float64) != 3 {
+		t.Fatalf("coordinator list = %v", list)
+	}
+}
+
+func TestClusterErrorPaths(t *testing.T) {
+	coord, _ := startCluster(t, 2, 0.2)
+	putPoints(t, coord.URL, "d", clusterPoints(40, 2, 404))
+
+	// eps beyond the shard margin is rejected, not silently wrong.
+	resp, body := doJSON(t, http.MethodPost, coord.URL+"/datasets/d/selfjoin", map[string]any{"eps": 0.9})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body["error"].(string), "margin") {
+		t.Fatalf("eps > margin: %d %v", resp.StatusCode, body)
+	}
+	// Unknown dataset.
+	resp, _ = doJSON(t, http.MethodPost, coord.URL+"/datasets/nope/selfjoin", map[string]any{"eps": 0.1})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing dataset: %d", resp.StatusCode)
+	}
+	// Endpoints the cluster does not distribute.
+	resp, _ = doJSON(t, http.MethodPost, coord.URL+"/join", map[string]any{"a": "d", "b": "d", "eps": 0.1})
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("/join in coordinator mode: %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodPost, coord.URL+"/datasets/d/points", map[string]any{"points": [][]float64{{1, 2}}})
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("append in coordinator mode: %d", resp.StatusCode)
+	}
+	// Deleting through the coordinator clears every worker.
+	req, _ := http.NewRequest(http.MethodDelete, coord.URL+"/datasets/d", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("coordinator delete: %d", dresp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodPost, coord.URL+"/datasets/d/selfjoin", map[string]any{"eps": 0.1})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("selfjoin after delete: %d", resp.StatusCode)
+	}
+}
+
+func TestCoordinatorHealthzDegrades(t *testing.T) {
+	coord, workers := startCluster(t, 3, 0.2)
+	r, err := http.Get(coord.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	_ = json.NewDecoder(r.Body).Decode(&body)
+	r.Body.Close()
+	if body["status"] != "ok" {
+		t.Fatalf("healthy cluster healthz = %v", body)
+	}
+	if ws := body["workers"].([]any); len(ws) != 3 {
+		t.Fatalf("workers = %v", ws)
+	}
+
+	workers[0].Close()
+	r, err = http.Get(coord.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = map[string]any{}
+	_ = json.NewDecoder(r.Body).Decode(&body)
+	r.Body.Close()
+	if body["status"] != "degraded" {
+		t.Fatalf("healthz with dead worker = %v", body)
+	}
+}
+
+func TestDebugVarsCounters(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}, {1, 1}})
+	// One error: selfjoin on a missing dataset.
+	resp, _ := doJSON(t, http.MethodPost, ts.URL+"/datasets/zzz/selfjoin", map[string]any{"eps": 0.1})
+	resp.Body.Close()
+
+	r, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Requests map[string]int `json:"requests"`
+		Errors   map[string]int `json:"errors"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if vars.Requests["PUT /datasets/{name}"] != 1 {
+		t.Errorf("requests = %v, want 1 PUT", vars.Requests)
+	}
+	if vars.Requests["POST /datasets/{name}/selfjoin"] != 1 || vars.Errors["POST /datasets/{name}/selfjoin"] != 1 {
+		t.Errorf("selfjoin counters = %v / %v, want 1 request and 1 error", vars.Requests, vars.Errors)
+	}
+	if len(vars.Errors) != 1 {
+		t.Errorf("errors = %v, want only the selfjoin miss", vars.Errors)
+	}
+}

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"simjoin/internal/cluster"
+)
+
+// coordServer is the HTTP face of coordinator mode: the worker REST API,
+// answered by scatter-gather over the fleet. Query responses gain three
+// fields — "shards", "partial" and "failed_shards" — so callers can see
+// when a dead worker left the answer incomplete.
+type coordServer struct {
+	c *cluster.Coordinator
+	m *metrics
+}
+
+func newCoordServer(c *cluster.Coordinator) *coordServer {
+	return &coordServer{c: c, m: newMetrics()}
+}
+
+// handler wires up the coordinator routes with the same metrics
+// middleware the worker uses.
+func (s *coordServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.m.wrap(pattern, h))
+	}
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /datasets", s.handleList)
+	handle("PUT /datasets/{name}", s.handlePut)
+	handle("DELETE /datasets/{name}", s.handleDelete)
+	handle("POST /datasets/{name}/selfjoin", s.handleSelfJoin)
+	handle("POST /datasets/{name}/range", s.handleRange)
+	handle("POST /datasets/{name}/knn", s.handleKNN)
+	handle("POST /datasets/{name}/points", unsupported("appending points"))
+	handle("POST /join", unsupported("two-set joins"))
+	mux.HandleFunc("GET /debug/vars", s.m.handler)
+	return mux
+}
+
+// unsupported answers 501 for worker endpoints the cluster layer does
+// not (yet) distribute.
+func unsupported(what string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotImplemented, "%s not supported in coordinator mode", what)
+	}
+}
+
+// coordError maps cluster error types onto HTTP statuses.
+func coordError(w http.ResponseWriter, err error) {
+	var nfe cluster.NotFoundError
+	var qe cluster.QueryError
+	var ue cluster.UnavailableError
+	switch {
+	case errors.As(err, &nfe):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.As(err, &qe):
+		httpError(w, http.StatusBadRequest, "%v", err)
+	case errors.As(err, &ue):
+		httpError(w, http.StatusBadGateway, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleHealthz reports the coordinator as live plus each worker's
+// health, "degraded" when any worker is down.
+func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	workers := s.c.Health(r.Context())
+	status := "ok"
+	for _, wh := range workers {
+		if !wh.OK {
+			status = "degraded"
+		}
+	}
+	writeJSON(w, map[string]any{
+		"status":   status,
+		"datasets": len(s.c.List()),
+		"workers":  workers,
+	})
+}
+
+func (s *coordServer) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.c.List())
+}
+
+func (s *coordServer) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if strings.TrimSpace(name) == "" {
+		httpError(w, http.StatusBadRequest, "dataset name required")
+		return
+	}
+	margin := 0.0
+	if v := r.URL.Query().Get("margin"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(parsed > 0) {
+			httpError(w, http.StatusBadRequest, "margin must be a positive number, got %q", v)
+			return
+		}
+		margin = parsed
+	}
+	pts, ok := decodeUpload(w, r)
+	if !ok {
+		return
+	}
+	info, err := s.c.Upload(r.Context(), name, pts, margin)
+	if err != nil {
+		coordError(w, err)
+		return
+	}
+	writeJSON(w, info)
+}
+
+func (s *coordServer) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.c.Delete(r.Context(), r.PathValue("name")); err != nil {
+		coordError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// coordJoinResponse is joinResponse plus the cluster degradation fields.
+type coordJoinResponse struct {
+	Pairs        [][2]int             `json:"pairs"`
+	Total        int64                `json:"total"`
+	Truncated    bool                 `json:"truncated"`
+	ElapsedMS    float64              `json:"elapsed_ms"`
+	Shards       int                  `json:"shards"`
+	Partial      bool                 `json:"partial"`
+	FailedShards []cluster.ShardError `json:"failed_shards,omitempty"`
+}
+
+func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
+	var p joinParams
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&p); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	start := time.Now()
+	res, err := s.c.SelfJoin(r.Context(), r.PathValue("name"), cluster.JoinQuery{
+		Eps:       p.Eps,
+		Metric:    p.Metric,
+		Algorithm: p.Algorithm,
+		Workers:   p.Workers,
+	})
+	if err != nil {
+		coordError(w, err)
+		return
+	}
+	out := coordJoinResponse{
+		Pairs:        res.Pairs,
+		Total:        int64(len(res.Pairs)),
+		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
+		Shards:       res.Shards,
+		Partial:      res.Partial,
+		FailedShards: res.Failed,
+	}
+	if p.MaxPairs > 0 && len(out.Pairs) > p.MaxPairs {
+		out.Pairs = out.Pairs[:p.MaxPairs]
+		out.Truncated = true
+	}
+	if out.Pairs == nil {
+		out.Pairs = [][2]int{}
+	}
+	writeJSON(w, out)
+}
+
+func (s *coordServer) handleRange(w http.ResponseWriter, r *http.Request) {
+	var q pointQuery
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&q); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	res, err := s.c.Range(r.Context(), r.PathValue("name"), q.Point, q.Radius, q.Metric)
+	if err != nil {
+		coordError(w, err)
+		return
+	}
+	idx := res.Indexes
+	if idx == nil {
+		idx = []int{}
+	}
+	writeJSON(w, map[string]any{
+		"indexes":       idx,
+		"shards":        res.Shards,
+		"partial":       res.Partial,
+		"failed_shards": res.Failed,
+	})
+}
+
+func (s *coordServer) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var q pointQuery
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&q); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	res, err := s.c.KNN(r.Context(), r.PathValue("name"), q.Point, q.K, q.Metric)
+	if err != nil {
+		coordError(w, err)
+		return
+	}
+	nbrs := res.Neighbors
+	if nbrs == nil {
+		nbrs = []cluster.Neighbor{}
+	}
+	writeJSON(w, map[string]any{
+		"neighbors":     nbrs,
+		"shards":        res.Shards,
+		"partial":       res.Partial,
+		"failed_shards": res.Failed,
+	})
+}

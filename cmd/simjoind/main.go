@@ -1,27 +1,46 @@
 // Command simjoind serves similarity joins and neighbor queries over HTTP.
-// Datasets are uploaded (JSON or CSV) and queried by name:
+//
+// Worker mode (the default) owns datasets in memory, uploaded (JSON or
+// CSV) and queried by name:
 //
 //	simjoind -addr :8080 [-load name=path ...]
 //
 //	PUT    /datasets/{name}           {"points": [[…], …]}  (or text/csv body)
 //	GET    /datasets                  list registered datasets
 //	DELETE /datasets/{name}
+//	POST   /datasets/{name}/points    {"points": [[…], …]}  append
 //	POST   /datasets/{name}/selfjoin  {"eps":0.1,"metric":"L2","algorithm":"ekdb"}
 //	POST   /datasets/{name}/range     {"point":[…],"radius":0.1}
 //	POST   /datasets/{name}/knn       {"point":[…],"k":5}
 //	POST   /join                      {"a":"x","b":"y","eps":0.1}
+//	GET    /healthz                   liveness + dataset count
+//	GET    /debug/vars                per-route request/error counters
 //
-// Every response is JSON; errors carry {"error": "…"} with a 4xx status.
+// Coordinator mode fronts a fleet of workers and serves the same API by
+// scatter-gather, sharding each upload across the fleet with ε-boundary
+// replication (see docs/CLUSTER.md):
+//
+//	simjoind -addr :8080 -workers http://w1:8081,http://w2:8082 [-margin 0.25]
+//
+// Every response is JSON; errors carry {"error": "…"} with a 4xx/5xx
+// status. The server shuts down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"simjoin"
+	"simjoin/internal/cluster"
 )
 
 // loadFlags collects repeated -load name=path arguments.
@@ -35,25 +54,81 @@ func (l *loadFlags) Set(v string) error {
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		loads loadFlags
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.String("workers", "", "comma-separated worker base URLs; enables coordinator mode")
+		margin  = flag.Float64("margin", cluster.DefaultMargin, "coordinator: ε-boundary replication width for uploads (max exact self-join eps)")
+		loads   loadFlags
 	)
-	flag.Var(&loads, "load", "preload a dataset: name=path (repeatable)")
+	flag.Var(&loads, "load", "preload a dataset: name=path (repeatable; worker mode only)")
 	flag.Parse()
 
-	srv := newServer()
-	for _, spec := range loads {
-		name, path, ok := strings.Cut(spec, "=")
-		if !ok {
-			log.Fatalf("simjoind: -load %q: want name=path", spec)
+	var h http.Handler
+	if *workers != "" {
+		if len(loads) > 0 {
+			log.Fatal("simjoind: -load is not supported in coordinator mode; load data on the workers or upload through the coordinator")
 		}
-		ds, err := simjoin.Load(path)
-		if err != nil {
-			log.Fatalf("simjoind: loading %s: %v", path, err)
+		urls := parseWorkers(*workers)
+		h = newCoordServer(cluster.New(urls, *margin, nil)).handler()
+		fmt.Printf("simjoind coordinating %d workers on %s (margin %g)\n", len(urls), *addr, *margin)
+	} else {
+		srv := newServer()
+		for _, spec := range loads {
+			name, path, ok := strings.Cut(spec, "=")
+			if !ok {
+				log.Fatalf("simjoind: -load %q: want name=path", spec)
+			}
+			ds, err := simjoin.Load(path)
+			if err != nil {
+				log.Fatalf("simjoind: loading %s: %v", path, err)
+			}
+			srv.sets[name] = &entry{ds: ds}
+			fmt.Printf("loaded %s: %d points × %d dims\n", name, ds.Len(), ds.Dims())
 		}
-		srv.sets[name] = &entry{ds: ds}
-		fmt.Printf("loaded %s: %d points × %d dims\n", name, ds.Len(), ds.Dims())
+		h = srv.handler()
+		fmt.Printf("simjoind listening on %s\n", *addr)
 	}
-	fmt.Printf("simjoind listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, *addr, h); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("simjoind: %v", err)
+	}
+}
+
+// parseWorkers splits the -workers list into normalized base URLs.
+func parseWorkers(s string) []string {
+	var out []string
+	for _, w := range strings.Split(s, ",") {
+		w = strings.TrimSuffix(strings.TrimSpace(w), "/")
+		if w == "" {
+			continue
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		log.Fatal("simjoind: -workers lists no URLs")
+	}
+	return out
+}
+
+// serve runs a hardened http.Server until ctx is cancelled (SIGINT or
+// SIGTERM), then drains in-flight requests before returning.
+func serve(ctx context.Context, addr string, h http.Handler) error {
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
 }

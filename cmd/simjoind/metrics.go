@@ -1,0 +1,53 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+)
+
+// metrics tracks per-route request and error counts with expvar types,
+// served at GET /debug/vars. Each server instance owns its own maps
+// rather than publishing into the process-global expvar registry, so
+// tests (and a worker + coordinator sharing one process) can run many
+// servers without duplicate-name panics.
+type metrics struct {
+	requests expvar.Map
+	errors   expvar.Map
+}
+
+func newMetrics() *metrics {
+	m := &metrics{}
+	m.requests.Init()
+	m.errors.Init()
+	return m
+}
+
+// statusWriter records the status code so error responses can be counted.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// wrap counts every request, and every ≥ 400 response, under key.
+func (m *metrics) wrap(key string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.requests.Add(key, 1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		if sw.status >= 400 {
+			m.errors.Add(key, 1)
+		}
+	}
+}
+
+// handler serves the counters; expvar.Map values render as JSON objects.
+func (m *metrics) handler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"requests\":%s,\"errors\":%s}\n", m.requests.String(), m.errors.String())
+}

@@ -21,6 +21,7 @@ const maxBodyBytes = 64 << 20
 type server struct {
 	mu   sync.RWMutex
 	sets map[string]*entry
+	m    *metrics
 }
 
 // entry is one registered dataset plus its lazily built query index.
@@ -74,27 +75,34 @@ func (e *entry) appendPoints(pts [][]float64) (int, error) {
 }
 
 func newServer() *server {
-	return &server{sets: make(map[string]*entry)}
+	return &server{sets: make(map[string]*entry), m: newMetrics()}
 }
 
-// handler wires up the routes.
+// handler wires up the routes, each wrapped in the request/error
+// counters served at /debug/vars.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		s.mu.RLock()
-		n := len(s.sets)
-		s.mu.RUnlock()
-		writeJSON(w, map[string]any{"status": "ok", "datasets": n})
-	})
-	mux.HandleFunc("GET /datasets", s.handleList)
-	mux.HandleFunc("PUT /datasets/{name}", s.handlePut)
-	mux.HandleFunc("DELETE /datasets/{name}", s.handleDelete)
-	mux.HandleFunc("POST /datasets/{name}/points", s.handleAppend)
-	mux.HandleFunc("POST /datasets/{name}/selfjoin", s.handleSelfJoin)
-	mux.HandleFunc("POST /datasets/{name}/range", s.handleRange)
-	mux.HandleFunc("POST /datasets/{name}/knn", s.handleKNN)
-	mux.HandleFunc("POST /join", s.handleJoin)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.m.wrap(pattern, h))
+	}
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /datasets", s.handleList)
+	handle("PUT /datasets/{name}", s.handlePut)
+	handle("DELETE /datasets/{name}", s.handleDelete)
+	handle("POST /datasets/{name}/points", s.handleAppend)
+	handle("POST /datasets/{name}/selfjoin", s.handleSelfJoin)
+	handle("POST /datasets/{name}/range", s.handleRange)
+	handle("POST /datasets/{name}/knn", s.handleKNN)
+	handle("POST /join", s.handleJoin)
+	mux.HandleFunc("GET /debug/vars", s.m.handler)
 	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.sets)
+	s.mu.RUnlock()
+	writeJSON(w, map[string]any{"status": "ok", "datasets": n})
 }
 
 // httpError writes a JSON error with the given status.
@@ -141,39 +149,53 @@ type putRequest struct {
 	Points [][]float64 `json:"points"`
 }
 
+// decodeUpload parses an upload body — JSON {"points": …} or text/csv —
+// into a rectangular, non-empty point list, writing the HTTP error
+// itself when the body is unusable. Shared by worker and coordinator
+// upload handlers.
+func decodeUpload(w http.ResponseWriter, r *http.Request) ([][]float64, bool) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
+		ds, err := simjoin.ReadCSV(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "parsing CSV: %v", err)
+			return nil, false
+		}
+		pts := make([][]float64, ds.Len())
+		for i := range pts {
+			pts[i] = ds.Point(i)
+		}
+		return pts, true
+	}
+	var req putRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing JSON: %v", err)
+		return nil, false
+	}
+	if len(req.Points) == 0 {
+		httpError(w, http.StatusBadRequest, "no points in upload")
+		return nil, false
+	}
+	for i, p := range req.Points {
+		if len(p) != len(req.Points[0]) {
+			httpError(w, http.StatusBadRequest, "point %d has %d dims, want %d", i, len(p), len(req.Points[0]))
+			return nil, false
+		}
+	}
+	return req.Points, true
+}
+
 func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if strings.TrimSpace(name) == "" {
 		httpError(w, http.StatusBadRequest, "dataset name required")
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	var ds *simjoin.Dataset
-	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
-		parsed, err := simjoin.ReadCSV(body)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "parsing CSV: %v", err)
-			return
-		}
-		ds = parsed
-	} else {
-		var req putRequest
-		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "parsing JSON: %v", err)
-			return
-		}
-		if len(req.Points) == 0 {
-			httpError(w, http.StatusBadRequest, "no points in upload")
-			return
-		}
-		for i, p := range req.Points {
-			if len(p) != len(req.Points[0]) {
-				httpError(w, http.StatusBadRequest, "point %d has %d dims, want %d", i, len(p), len(req.Points[0]))
-				return
-			}
-		}
-		ds = simjoin.FromPoints(req.Points)
+	pts, ok := decodeUpload(w, r)
+	if !ok {
+		return
 	}
+	ds := simjoin.FromPoints(pts)
 	s.mu.Lock()
 	s.sets[name] = &entry{ds: ds}
 	s.mu.Unlock()

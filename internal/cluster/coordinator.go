@@ -1,0 +1,441 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+
+	"simjoin/internal/rclient"
+)
+
+// DefaultMargin is the boundary-replication width used when neither the
+// coordinator nor the upload names one. Self-joins with eps above the
+// margin are rejected, so it should comfortably exceed the largest eps
+// the deployment queries with.
+const DefaultMargin = 0.25
+
+// Coordinator fronts a set of simjoind workers: it owns the shard maps,
+// scatters uploads and queries, and gathers exact merged results.
+// Methods are safe for concurrent use.
+type Coordinator struct {
+	workers []string
+	margin  float64
+	rc      *rclient.Client
+
+	mu   sync.RWMutex
+	sets map[string]*ShardMap
+}
+
+// New builds a Coordinator over the given worker base URLs. margin ≤ 0
+// takes DefaultMargin; rc == nil takes an rclient.Client with RetryPOST
+// enabled (every coordinator POST is a read-only query, so transport
+// retries are safe).
+func New(workers []string, margin float64, rc *rclient.Client) *Coordinator {
+	if margin <= 0 {
+		margin = DefaultMargin
+	}
+	if rc == nil {
+		rc = &rclient.Client{RetryPOST: true}
+	}
+	return &Coordinator{
+		workers: workers,
+		margin:  margin,
+		rc:      rc,
+		sets:    make(map[string]*ShardMap),
+	}
+}
+
+// Workers returns the worker base URLs in shard order.
+func (c *Coordinator) Workers() []string { return c.workers }
+
+// Margin returns the default boundary-replication width.
+func (c *Coordinator) Margin() float64 { return c.margin }
+
+// NotFoundError reports a query against an unknown dataset.
+type NotFoundError struct{ Name string }
+
+func (e NotFoundError) Error() string { return fmt.Sprintf("no dataset %q", e.Name) }
+
+// QueryError reports an invalid upload or query (an HTTP 400 at the API
+// layer).
+type QueryError struct{ Msg string }
+
+func (e QueryError) Error() string { return e.Msg }
+
+func queryErrorf(format string, args ...any) QueryError {
+	return QueryError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// ShardError names one shard that failed during a scatter.
+type ShardError struct {
+	Shard int    `json:"shard"`
+	URL   string `json:"url"`
+	Err   string `json:"error"`
+}
+
+// UnavailableError reports a scatter in which no shard answered — there
+// is no partial result worth returning.
+type UnavailableError struct{ Failed []ShardError }
+
+func (e UnavailableError) Error() string {
+	return fmt.Sprintf("all %d shards failed (first: %s: %s)", len(e.Failed), e.Failed[0].URL, e.Failed[0].Err)
+}
+
+// Info describes one sharded dataset.
+type Info struct {
+	Name string `json:"name"`
+	Len  int    `json:"len"`
+	Dims int    `json:"dims"`
+}
+
+// Upload partitions pts across the workers under the given
+// boundary-replication margin (0 = coordinator default) and registers
+// the dataset. A failed worker upload rolls the dataset back everywhere.
+func (c *Coordinator) Upload(ctx context.Context, name string, pts [][]float64, margin float64) (Info, error) {
+	if name == "" {
+		return Info{}, QueryError{Msg: "dataset name required"}
+	}
+	if len(pts) == 0 {
+		return Info{}, QueryError{Msg: "no points in upload"}
+	}
+	for i, p := range pts {
+		if len(p) != len(pts[0]) {
+			return Info{}, queryErrorf("point %d has %d dims, want %d", i, len(p), len(pts[0]))
+		}
+	}
+	if margin == 0 {
+		margin = c.margin
+	}
+	if margin < 0 {
+		return Info{}, QueryError{Msg: "margin must be positive"}
+	}
+	sm, shardPts := Partition(pts, c.workers, margin)
+	failed := c.scatter(sm, sm.nonEmpty(), func(s int) error {
+		body, err := json.Marshal(map[string]any{"points": shardPts[s]})
+		if err != nil {
+			return err
+		}
+		resp, err := c.rc.Put(ctx, c.datasetURL(sm, s, name), "application/json", body)
+		if err != nil {
+			return err
+		}
+		return drainResponse(resp, nil)
+	})
+	if len(failed) > 0 {
+		// Best-effort rollback so no worker keeps a half-registered set.
+		for _, s := range sm.nonEmpty() {
+			if resp, err := c.rc.Delete(ctx, c.datasetURL(sm, s, name)); err == nil {
+				resp.Body.Close()
+			}
+		}
+		return Info{}, UnavailableError{Failed: failed}
+	}
+	c.mu.Lock()
+	c.sets[name] = sm
+	c.mu.Unlock()
+	return Info{Name: name, Len: sm.Total, Dims: sm.Dims}, nil
+}
+
+// Delete unregisters the dataset and removes it from every worker
+// (best-effort: a missing or down worker does not block the delete).
+func (c *Coordinator) Delete(ctx context.Context, name string) error {
+	c.mu.Lock()
+	sm, ok := c.sets[name]
+	delete(c.sets, name)
+	c.mu.Unlock()
+	if !ok {
+		return NotFoundError{Name: name}
+	}
+	for _, s := range sm.nonEmpty() {
+		if resp, err := c.rc.Delete(ctx, c.datasetURL(sm, s, name)); err == nil {
+			resp.Body.Close()
+		}
+	}
+	return nil
+}
+
+// List describes the registered datasets, sorted by name.
+func (c *Coordinator) List() []Info {
+	c.mu.RLock()
+	out := make([]Info, 0, len(c.sets))
+	for name, sm := range c.sets {
+		out = append(out, Info{Name: name, Len: sm.Total, Dims: sm.Dims})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Map returns the dataset's shard map, for introspection.
+func (c *Coordinator) Map(name string) (*ShardMap, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sm, ok := c.sets[name]
+	return sm, ok
+}
+
+// JoinQuery mirrors the worker self-join request.
+type JoinQuery struct {
+	Eps       float64
+	Metric    string
+	Algorithm string
+	Workers   int
+}
+
+// JoinResult is a merged distributed self-join. When Partial is set,
+// Pairs holds everything the live shards found and Failed names the
+// shards whose contribution is missing.
+type JoinResult struct {
+	Pairs   [][2]int
+	Shards  int
+	Partial bool
+	Failed  []ShardError
+}
+
+// SelfJoin scatters the self-join to every non-empty shard and merges
+// the answers into the exact global pair set (upload-order indexes,
+// i < j, deduped across shards).
+func (c *Coordinator) SelfJoin(ctx context.Context, name string, q JoinQuery) (*JoinResult, error) {
+	sm, ok := c.Map(name)
+	if !ok {
+		return nil, NotFoundError{Name: name}
+	}
+	if !(q.Eps > 0) {
+		return nil, QueryError{Msg: "eps must be positive"}
+	}
+	if q.Eps > sm.Margin {
+		return nil, queryErrorf("eps %g exceeds the dataset's shard margin %g; re-upload with a larger margin", q.Eps, sm.Margin)
+	}
+	targets := sm.nonEmpty()
+	merged := make(pairSet)
+	var mu sync.Mutex
+	failed := c.scatter(sm, targets, func(s int) error {
+		var out struct {
+			Pairs [][2]int `json:"pairs"`
+		}
+		req := map[string]any{"eps": q.Eps, "metric": q.Metric, "algorithm": q.Algorithm, "workers": q.Workers}
+		if err := c.postJSON(ctx, c.datasetURL(sm, s, name)+"/selfjoin", req, &out); err != nil {
+			return err
+		}
+		mu.Lock()
+		merged.addLocal(out.Pairs, sm.Shards[s].Global)
+		mu.Unlock()
+		return nil
+	})
+	if len(failed) == len(targets) && len(targets) > 0 {
+		return nil, UnavailableError{Failed: failed}
+	}
+	return &JoinResult{
+		Pairs:   merged.sorted(),
+		Shards:  len(targets),
+		Partial: len(failed) > 0,
+		Failed:  failed,
+	}, nil
+}
+
+// RangeResult is a merged distributed range query.
+type RangeResult struct {
+	Indexes []int
+	Shards  int
+	Partial bool
+	Failed  []ShardError
+}
+
+// Range scatters an ε-range query to the shards whose slabs intersect
+// the query ball (exact for any radius — cores cover the ball, replicas
+// dedupe away) and merges the global indexes.
+func (c *Coordinator) Range(ctx context.Context, name string, point []float64, radius float64, metric string) (*RangeResult, error) {
+	sm, ok := c.Map(name)
+	if !ok {
+		return nil, NotFoundError{Name: name}
+	}
+	if len(point) != sm.Dims {
+		return nil, queryErrorf("query has %d dims, dataset has %d", len(point), sm.Dims)
+	}
+	if !(radius > 0) {
+		return nil, QueryError{Msg: "radius must be positive"}
+	}
+	x := point[sm.Dim]
+	targets := make([]int, 0)
+	for _, s := range sm.RouteInterval(x-radius, x+radius) {
+		if len(sm.Shards[s].Global) > 0 {
+			targets = append(targets, s)
+		}
+	}
+	merged := make(indexSet)
+	var mu sync.Mutex
+	failed := c.scatter(sm, targets, func(s int) error {
+		var out struct {
+			Indexes []int `json:"indexes"`
+		}
+		req := map[string]any{"point": point, "radius": radius, "metric": metric}
+		if err := c.postJSON(ctx, c.datasetURL(sm, s, name)+"/range", req, &out); err != nil {
+			return err
+		}
+		mu.Lock()
+		merged.addLocal(out.Indexes, sm.Shards[s].Global)
+		mu.Unlock()
+		return nil
+	})
+	if len(failed) == len(targets) && len(targets) > 0 {
+		return nil, UnavailableError{Failed: failed}
+	}
+	return &RangeResult{
+		Indexes: merged.sorted(),
+		Shards:  len(targets),
+		Partial: len(failed) > 0,
+		Failed:  failed,
+	}, nil
+}
+
+// KNNResult is a merged distributed KNN query.
+type KNNResult struct {
+	Neighbors []Neighbor
+	Shards    int
+	Partial   bool
+	Failed    []ShardError
+}
+
+// KNN scatters a k-nearest query to every non-empty shard (the k-th
+// distance is unknown up front, so no shard can be pruned), takes each
+// shard's local top-k, and keeps the k best after deduping replicas.
+func (c *Coordinator) KNN(ctx context.Context, name string, point []float64, k int, metric string) (*KNNResult, error) {
+	sm, ok := c.Map(name)
+	if !ok {
+		return nil, NotFoundError{Name: name}
+	}
+	if len(point) != sm.Dims {
+		return nil, queryErrorf("query has %d dims, dataset has %d", len(point), sm.Dims)
+	}
+	if k < 1 {
+		return nil, QueryError{Msg: "k must be ≥ 1"}
+	}
+	targets := sm.nonEmpty()
+	merged := make(neighborSet)
+	var mu sync.Mutex
+	failed := c.scatter(sm, targets, func(s int) error {
+		var out struct {
+			Neighbors []Neighbor `json:"neighbors"`
+		}
+		req := map[string]any{"point": point, "k": k, "metric": metric}
+		if err := c.postJSON(ctx, c.datasetURL(sm, s, name)+"/knn", req, &out); err != nil {
+			return err
+		}
+		mu.Lock()
+		for _, n := range out.Neighbors {
+			merged.add(sm.Shards[s].Global[n.Index], n.Dist)
+		}
+		mu.Unlock()
+		return nil
+	})
+	if len(failed) == len(targets) && len(targets) > 0 {
+		return nil, UnavailableError{Failed: failed}
+	}
+	return &KNNResult{
+		Neighbors: merged.top(k),
+		Shards:    len(targets),
+		Partial:   len(failed) > 0,
+		Failed:    failed,
+	}, nil
+}
+
+// WorkerHealth is one worker's health-check outcome.
+type WorkerHealth struct {
+	URL string `json:"url"`
+	OK  bool   `json:"ok"`
+	Err string `json:"error,omitempty"`
+}
+
+// Health polls every worker's /healthz concurrently and reports each
+// outcome in worker order.
+func (c *Coordinator) Health(ctx context.Context) []WorkerHealth {
+	out := make([]WorkerHealth, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w string) {
+			defer wg.Done()
+			out[i] = WorkerHealth{URL: w}
+			resp, err := c.rc.Get(ctx, w+"/healthz")
+			if err != nil {
+				out[i].Err = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			if resp.StatusCode != http.StatusOK {
+				out[i].Err = fmt.Sprintf("status %d", resp.StatusCode)
+				return
+			}
+			out[i].OK = true
+		}(i, w)
+	}
+	wg.Wait()
+	return out
+}
+
+// scatter runs fn for each listed shard concurrently and gathers the
+// failures, ordered by shard.
+func (c *Coordinator) scatter(sm *ShardMap, shards []int, fn func(shard int) error) []ShardError {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failed []ShardError
+	for _, s := range shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if err := fn(s); err != nil {
+				mu.Lock()
+				failed = append(failed, ShardError{Shard: s, URL: sm.Shards[s].URL, Err: err.Error()})
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	sort.Slice(failed, func(i, j int) bool { return failed[i].Shard < failed[j].Shard })
+	return failed
+}
+
+func (c *Coordinator) datasetURL(sm *ShardMap, shard int, name string) string {
+	return sm.Shards[shard].URL + "/datasets/" + url.PathEscape(name)
+}
+
+// postJSON posts a JSON body and decodes a JSON answer, surfacing worker
+// {"error": …} payloads as errors.
+func (c *Coordinator) postJSON(ctx context.Context, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.rc.Post(ctx, url, "application/json", body)
+	if err != nil {
+		return err
+	}
+	return drainResponse(resp, out)
+}
+
+// drainResponse consumes resp, decoding into out on success (out may be
+// nil) and converting non-2xx answers into errors.
+func drainResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var we struct {
+			Error string `json:"error"`
+		}
+		msg := ""
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<10)).Decode(&we); err == nil {
+			msg = we.Error
+		}
+		return fmt.Errorf("worker status %d: %s", resp.StatusCode, msg)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

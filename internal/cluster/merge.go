@@ -1,0 +1,88 @@
+package cluster
+
+import "sort"
+
+// pairSet accumulates canonical global pairs across shards, deduping the
+// pairs that boundary replication makes more than one shard report.
+type pairSet map[[2]int]struct{}
+
+// addLocal folds one shard's worker-local pairs into the set, mapping
+// local indexes to upload order via global.
+func (ps pairSet) addLocal(local [][2]int, global []int) {
+	for _, p := range local {
+		gi, gj := global[p[0]], global[p[1]]
+		if gi > gj {
+			gi, gj = gj, gi
+		}
+		ps[[2]int{gi, gj}] = struct{}{}
+	}
+}
+
+// sorted returns the set's pairs ordered by (i, j).
+func (ps pairSet) sorted() [][2]int {
+	out := make([][2]int, 0, len(ps))
+	for p := range ps {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// indexSet accumulates global point indexes, deduping replicas reported
+// by two shards.
+type indexSet map[int]struct{}
+
+func (is indexSet) addLocal(local []int, global []int) {
+	for _, l := range local {
+		is[global[l]] = struct{}{}
+	}
+}
+
+func (is indexSet) sorted() []int {
+	out := make([]int, 0, len(is))
+	for i := range is {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Neighbor is one KNN result in global index space.
+type Neighbor struct {
+	Index int     `json:"index"`
+	Dist  float64 `json:"dist"`
+}
+
+// neighborSet keeps the best distance seen per global index; replicas of
+// one point may be reported by several shards.
+type neighborSet map[int]float64
+
+func (ns neighborSet) add(global int, dist float64) {
+	if d, ok := ns[global]; !ok || dist < d {
+		ns[global] = dist
+	}
+}
+
+// top returns the k nearest accumulated neighbors, ordered by distance
+// with index as the deterministic tie-break.
+func (ns neighborSet) top(k int) []Neighbor {
+	out := make([]Neighbor, 0, len(ns))
+	for i, d := range ns {
+		out = append(out, Neighbor{Index: i, Dist: d})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Index < out[b].Index
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

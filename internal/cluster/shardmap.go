@@ -1,0 +1,145 @@
+// Package cluster turns a fleet of simjoind workers into one sharded
+// similarity-join service. A Coordinator partitions each uploaded dataset
+// across the workers with deterministic slab routing plus ε-boundary
+// replication, scatters self-join/range/KNN queries to the shards that
+// can hold matches, and merges the per-shard answers back into exactly
+// the result a single node would have produced — degrading to partial,
+// error-tagged results when workers are down.
+//
+// Sharding scheme. Points are sliced into K contiguous slabs along one
+// routing dimension (the widest one), with cut values chosen at
+// quantiles of the upload so shards balance. Every point whose
+// coordinate lies within Margin above a shard's upper cut is *also*
+// stored on that shard ("boundary replication"). For any pair within
+// eps ≤ Margin that spans slabs, the lower point's shard therefore holds
+// both endpoints: if a sits in slab i (so a[dim] < cut_i) and
+// |dist(a,b)| ≤ eps, then b[dim] < cut_i + Margin, which is exactly the
+// replica strip of shard i. A per-shard self-join thus sees every
+// qualifying pair at least once; the merge step maps worker-local
+// indexes back to upload order and dedupes pairs found by more than one
+// shard, so the distributed pair set equals the single-node pair set.
+package cluster
+
+import "sort"
+
+// ShardMap records how one dataset was partitioned across the workers.
+// It is immutable once built.
+type ShardMap struct {
+	// Dims is the dataset dimensionality.
+	Dims int
+	// Dim is the routing dimension (the widest at upload time).
+	Dim int
+	// Cuts are the K-1 ascending slab boundaries; Cuts[i] separates
+	// shard i from shard i+1. A point with coordinate x routes to the
+	// shard numbered by how many cuts are ≤ x.
+	Cuts []float64
+	// Margin is the boundary-replication width: self-joins with
+	// eps ≤ Margin are exact.
+	Margin float64
+	// Total is the number of points in the original upload.
+	Total int
+	// Shards holds one entry per worker, in worker order.
+	Shards []Shard
+}
+
+// Shard is one worker's slice of a dataset.
+type Shard struct {
+	// URL is the worker's base URL.
+	URL string
+	// Global maps the worker's local point index to the index in the
+	// original upload (core points and replicas alike).
+	Global []int
+}
+
+// Partition splits pts across len(urls) shards and returns the map plus
+// the per-shard point slices to upload (core slab plus the replica strip
+// within margin above the shard's upper cut). pts must be non-empty and
+// rectangular; margin must be positive.
+func Partition(pts [][]float64, urls []string, margin float64) (*ShardMap, [][][]float64) {
+	n, k := len(pts), len(urls)
+	sm := &ShardMap{Dims: len(pts[0]), Dim: widestDim(pts), Margin: margin, Total: n}
+	if k > 1 {
+		vals := make([]float64, n)
+		for i, p := range pts {
+			vals[i] = p[sm.Dim]
+		}
+		sort.Float64s(vals)
+		sm.Cuts = make([]float64, 0, k-1)
+		for i := 1; i < k; i++ {
+			sm.Cuts = append(sm.Cuts, vals[i*n/k])
+		}
+	}
+	sm.Shards = make([]Shard, k)
+	for i := range sm.Shards {
+		sm.Shards[i].URL = urls[i]
+	}
+	shardPts := make([][][]float64, k)
+	add := func(s, g int, p []float64) {
+		sm.Shards[s].Global = append(sm.Shards[s].Global, g)
+		shardPts[s] = append(shardPts[s], p)
+	}
+	for g, p := range pts {
+		x := p[sm.Dim]
+		s := sm.ShardOf(x)
+		add(s, g, p)
+		// Replicate downward into every shard whose upper cut is within
+		// margin below x; the break is safe because cuts ascend.
+		for t := s - 1; t >= 0; t-- {
+			if x >= sm.Cuts[t]+margin {
+				break
+			}
+			add(t, g, p)
+		}
+	}
+	return sm, shardPts
+}
+
+// widestDim returns the dimension with the largest spread (ties go to
+// the lowest index), so slab routing splits where the data actually
+// extends.
+func widestDim(pts [][]float64) int {
+	dims := len(pts[0])
+	best, bestSpread := 0, -1.0
+	for d := 0; d < dims; d++ {
+		lo, hi := pts[0][d], pts[0][d]
+		for _, p := range pts {
+			if p[d] < lo {
+				lo = p[d]
+			}
+			if p[d] > hi {
+				hi = p[d]
+			}
+		}
+		if spread := hi - lo; spread > bestSpread {
+			best, bestSpread = d, spread
+		}
+	}
+	return best
+}
+
+// ShardOf returns the shard owning a point with routing coordinate x.
+func (m *ShardMap) ShardOf(x float64) int {
+	return sort.Search(len(m.Cuts), func(i int) bool { return m.Cuts[i] > x })
+}
+
+// RouteInterval returns the shards whose slabs intersect [lo, hi] — the
+// scatter set for a range query centered in that interval.
+func (m *ShardMap) RouteInterval(lo, hi float64) []int {
+	a, b := m.ShardOf(lo), m.ShardOf(hi)
+	out := make([]int, 0, b-a+1)
+	for s := a; s <= b; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// nonEmpty lists the shards that actually hold points.
+func (m *ShardMap) nonEmpty() []int {
+	out := make([]int, 0, len(m.Shards))
+	for s, sh := range m.Shards {
+		if len(sh.Global) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomPoints(n, dims int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dims)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func testURLs(k int) []string {
+	urls := make([]string, k)
+	for i := range urls {
+		urls[i] = "http://worker" + string(rune('a'+i))
+	}
+	return urls
+}
+
+func TestPartitionCoversEveryPointOnce(t *testing.T) {
+	pts := randomPoints(500, 4, 1)
+	sm, shardPts := Partition(pts, testURLs(4), 0.1)
+
+	core := make(map[int]int)
+	for s, sh := range sm.Shards {
+		if len(sh.Global) != len(shardPts[s]) {
+			t.Fatalf("shard %d: %d globals vs %d points", s, len(sh.Global), len(shardPts[s]))
+		}
+		seen := make(map[int]bool)
+		for l, g := range sh.Global {
+			if seen[g] {
+				t.Fatalf("shard %d holds global %d twice", s, g)
+			}
+			seen[g] = true
+			if !reflect.DeepEqual(shardPts[s][l], pts[g]) {
+				t.Fatalf("shard %d local %d: wrong point for global %d", s, l, g)
+			}
+			if sm.ShardOf(pts[g][sm.Dim]) == s {
+				core[g]++
+			}
+		}
+	}
+	for g := range pts {
+		if core[g] != 1 {
+			t.Fatalf("global %d is core on %d shards, want 1", g, core[g])
+		}
+	}
+}
+
+func TestPartitionReplicasStayWithinMargin(t *testing.T) {
+	const margin = 0.07
+	pts := randomPoints(400, 3, 2)
+	sm, _ := Partition(pts, testURLs(5), margin)
+	for s, sh := range sm.Shards {
+		for _, g := range sh.Global {
+			x := pts[g][sm.Dim]
+			home := sm.ShardOf(x)
+			if home == s {
+				continue
+			}
+			if home < s {
+				t.Fatalf("global %d (home %d) replicated upward to shard %d", g, home, s)
+			}
+			// A downward replica must sit within margin above shard s's
+			// upper cut.
+			if x < sm.Cuts[s] || x >= sm.Cuts[s]+margin {
+				t.Fatalf("global %d at %g replicated to shard %d outside strip [%g, %g)",
+					g, x, s, sm.Cuts[s], sm.Cuts[s]+margin)
+			}
+		}
+	}
+	// Conversely, every point in a strip must be replicated there.
+	for g, p := range pts {
+		x := p[sm.Dim]
+		home := sm.ShardOf(x)
+		for s := home - 1; s >= 0; s-- {
+			if x >= sm.Cuts[s]+margin {
+				break
+			}
+			found := false
+			for _, gg := range sm.Shards[s].Global {
+				if gg == g {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("global %d at %g missing from shard %d's strip", g, x, s)
+			}
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	pts := randomPoints(300, 6, 3)
+	sm1, sp1 := Partition(pts, testURLs(3), 0.1)
+	sm2, sp2 := Partition(pts, testURLs(3), 0.1)
+	if !reflect.DeepEqual(sm1, sm2) || !reflect.DeepEqual(sp1, sp2) {
+		t.Fatal("Partition is not deterministic")
+	}
+}
+
+func TestPartitionSingleWorker(t *testing.T) {
+	pts := randomPoints(50, 2, 4)
+	sm, shardPts := Partition(pts, testURLs(1), 0.1)
+	if len(sm.Cuts) != 0 || len(sm.Shards) != 1 {
+		t.Fatalf("single worker map = %+v", sm)
+	}
+	if len(shardPts[0]) != len(pts) {
+		t.Fatalf("single worker holds %d points, want %d", len(shardPts[0]), len(pts))
+	}
+}
+
+func TestPartitionRoutesOnWidestDim(t *testing.T) {
+	// Dimension 1 spans [0, 10]; dimension 0 only [0, 1].
+	pts := make([][]float64, 100)
+	rng := rand.New(rand.NewSource(5))
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64() * 10}
+	}
+	sm, _ := Partition(pts, testURLs(4), 0.1)
+	if sm.Dim != 1 {
+		t.Fatalf("routing dim = %d, want 1", sm.Dim)
+	}
+}
+
+func TestShardOfAndRouteInterval(t *testing.T) {
+	sm := &ShardMap{Cuts: []float64{1, 2, 3}, Shards: make([]Shard, 4)}
+	cases := []struct {
+		x    float64
+		want int
+	}{{0.5, 0}, {1, 1}, {1.5, 1}, {2, 2}, {2.99, 2}, {3, 3}, {99, 3}}
+	for _, tc := range cases {
+		if got := sm.ShardOf(tc.x); got != tc.want {
+			t.Errorf("ShardOf(%g) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+	if got := sm.RouteInterval(0.9, 2.1); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("RouteInterval(0.9, 2.1) = %v", got)
+	}
+	if got := sm.RouteInterval(1.2, 1.8); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("RouteInterval(1.2, 1.8) = %v", got)
+	}
+}
+
+func TestPartitionDegenerateProjection(t *testing.T) {
+	// Every point identical: all cores land on the last shard and the
+	// replica strips replicate everywhere; nothing is lost.
+	pts := make([][]float64, 20)
+	for i := range pts {
+		pts[i] = []float64{0.5}
+	}
+	sm, _ := Partition(pts, testURLs(3), 0.1)
+	seen := make(map[int]bool)
+	for _, sh := range sm.Shards {
+		for _, g := range sh.Global {
+			seen[g] = true
+		}
+	}
+	if len(seen) != len(pts) {
+		t.Fatalf("degenerate partition dropped points: %d of %d present", len(seen), len(pts))
+	}
+}

@@ -1,0 +1,280 @@
+// Package rclient is the resilient HTTP client the cluster layer uses to
+// talk to simjoind workers: per-attempt timeouts, bounded exponential
+// backoff with jitter, and retries restricted to failures that are safe
+// to repeat.
+//
+// The retry policy is deliberately narrow. Transport errors and
+// per-attempt timeouts are retried only for idempotent methods (GET,
+// HEAD, PUT, DELETE, OPTIONS) — or for POST when the caller opts in with
+// RetryPOST, which the coordinator does because its POST endpoints are
+// read-only queries. 5xx and 429 responses are retried for any method:
+// the worker reported failure without doing the work. Every other
+// response, 4xx included, is returned to the caller unchanged — a
+// validation error does not get better by asking again.
+package rclient
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Defaults used by New and by zero-valued fields of Client.
+const (
+	DefaultMaxRetries     = 3
+	DefaultBaseDelay      = 25 * time.Millisecond
+	DefaultMaxDelay       = 2 * time.Second
+	DefaultAttemptTimeout = 30 * time.Second
+)
+
+// Client is an http.Client wrapper that retries safely-repeatable
+// failures with bounded exponential backoff. The zero value is usable;
+// zero fields take the package defaults.
+type Client struct {
+	// HTTP is the underlying client (nil = http.DefaultClient). Its
+	// Timeout, if set, caps the whole call including retries; prefer
+	// AttemptTimeout for per-try limits.
+	HTTP *http.Client
+	// MaxRetries is the number of retries after the first attempt.
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff: attempt n sleeps a
+	// jittered value in [d/2, d) where d = min(BaseDelay·2ⁿ⁻¹, MaxDelay).
+	BaseDelay time.Duration
+	// MaxDelay bounds a single backoff sleep.
+	MaxDelay time.Duration
+	// AttemptTimeout bounds each individual attempt; a slow attempt is
+	// cancelled and (if retryable) retried. < 0 disables the limit.
+	AttemptTimeout time.Duration
+	// RetryPOST treats POST like an idempotent method for transport-error
+	// retries. Only set this when every POST the client issues is a
+	// read-only query (true for the cluster coordinator).
+	RetryPOST bool
+}
+
+// New returns a Client with the package defaults.
+func New() *Client { return &Client{} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return DefaultMaxRetries
+}
+
+func (c *Client) baseDelay() time.Duration {
+	if c.BaseDelay > 0 {
+		return c.BaseDelay
+	}
+	return DefaultBaseDelay
+}
+
+func (c *Client) maxDelay() time.Duration {
+	if c.MaxDelay > 0 {
+		return c.MaxDelay
+	}
+	return DefaultMaxDelay
+}
+
+func (c *Client) attemptTimeout() time.Duration {
+	if c.AttemptTimeout != 0 {
+		return c.AttemptTimeout
+	}
+	return DefaultAttemptTimeout
+}
+
+// Decision classifies one attempt's outcome.
+type Decision int
+
+const (
+	// Accept: hand the response to the caller (2xx/3xx/4xx).
+	Accept Decision = iota
+	// Retry: transient failure worth another attempt.
+	Retry
+	// Fail: give up immediately (non-retryable transport error).
+	Fail
+)
+
+// Idempotent reports whether method is safe to repeat blindly.
+func Idempotent(method string) bool {
+	switch strings.ToUpper(method) {
+	case http.MethodGet, http.MethodHead, http.MethodPut, http.MethodDelete, http.MethodOptions:
+		return true
+	}
+	return false
+}
+
+// Classify maps one attempt's (status, err) outcome to a Decision. status
+// is ignored when err is non-nil. retryPOST extends transport-error
+// retries to POST (see Client.RetryPOST).
+func Classify(method string, status int, err error, retryPOST bool) Decision {
+	if err != nil {
+		if Idempotent(method) || (retryPOST && strings.ToUpper(method) == http.MethodPost) {
+			return Retry
+		}
+		return Fail
+	}
+	if status >= http.StatusInternalServerError || status == http.StatusTooManyRequests {
+		return Retry
+	}
+	return Accept
+}
+
+// Backoff returns the jittered sleep before retry attempt n (n ≥ 1):
+// uniform in [d/2, d) with d = min(base·2ⁿ⁻¹, max). The jitter spreads
+// coordinated clients; the cap keeps tail retries from stalling a
+// scatter-gather fan-out.
+func Backoff(attempt int, base, max time.Duration) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + rand.N(d-half)
+}
+
+// cancelBody ties an attempt's context cancellation to the response body
+// so the per-attempt timer is released when the caller finishes reading.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// Do executes req with retries. The caller owns the returned response
+// body. Requests with bodies must have GetBody set (true for requests
+// built by http.NewRequest from a *bytes.Reader and for the package's
+// helpers) or the first retry fails.
+func (c *Client) Do(ctx context.Context, req *http.Request) (*http.Response, error) {
+	attempts := c.maxRetries() + 1
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			delay := Backoff(attempt, c.baseDelay(), c.maxDelay())
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, fmt.Errorf("rclient: %s %s: %w (last attempt: %w)", req.Method, req.URL, ctx.Err(), lastErr)
+			case <-t.C:
+			}
+			if req.GetBody != nil {
+				body, err := req.GetBody()
+				if err != nil {
+					return nil, fmt.Errorf("rclient: %s %s: rewinding body: %w", req.Method, req.URL, err)
+				}
+				req.Body = body
+			} else if req.Body != nil {
+				return nil, fmt.Errorf("rclient: %s %s: cannot retry request without GetBody: %w", req.Method, req.URL, lastErr)
+			}
+		}
+		resp, err := c.attempt(ctx, req)
+		if err != nil && ctx.Err() != nil {
+			// The caller's context ended; the attempt error is noise.
+			return nil, fmt.Errorf("rclient: %s %s: %w", req.Method, req.URL, ctx.Err())
+		}
+		status := 0
+		if resp != nil {
+			status = resp.StatusCode
+		}
+		switch Classify(req.Method, status, err, c.RetryPOST) {
+		case Accept:
+			return resp, nil
+		case Fail:
+			return nil, fmt.Errorf("rclient: %s %s: %w", req.Method, req.URL, err)
+		case Retry:
+			if err != nil {
+				lastErr = err
+			} else {
+				lastErr = fmt.Errorf("server status %d", status)
+				// Drain so the transport can reuse the connection.
+				_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+				resp.Body.Close()
+			}
+		}
+	}
+	return nil, fmt.Errorf("rclient: %s %s: giving up after %d attempts: %w", req.Method, req.URL, attempts, lastErr)
+}
+
+// attempt runs one try under the per-attempt timeout. On success the
+// response body owns the attempt's cancel func (released on Close).
+func (c *Client) attempt(ctx context.Context, req *http.Request) (*http.Response, error) {
+	actx := ctx
+	cancel := context.CancelFunc(func() {})
+	if t := c.attemptTimeout(); t > 0 {
+		actx, cancel = context.WithTimeout(ctx, t)
+	}
+	resp, err := c.httpClient().Do(req.WithContext(actx))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// Get issues a GET with retries.
+func (c *Client) Get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(ctx, req)
+}
+
+// Post issues a POST with retries. body is buffered so retries can rewind
+// it; see RetryPOST for when transport errors are retried.
+func (c *Client) Post(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
+	return c.bodyRequest(ctx, http.MethodPost, url, contentType, body)
+}
+
+// Put issues a PUT with retries.
+func (c *Client) Put(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
+	return c.bodyRequest(ctx, http.MethodPut, url, contentType, body)
+}
+
+// Delete issues a DELETE with retries.
+func (c *Client) Delete(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(ctx, req)
+}
+
+func (c *Client) bodyRequest(ctx context.Context, method, url, contentType string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	return c.Do(ctx, req)
+}

@@ -1,0 +1,228 @@
+package rclient
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"simjoin/internal/rclient/rclienttest"
+)
+
+// fastClient returns a client with millisecond backoff so retry tests
+// stay quick while still exercising the real sleep path.
+func fastClient() *Client {
+	return &Client{
+		MaxRetries:     3,
+		BaseDelay:      2 * time.Millisecond,
+		MaxDelay:       20 * time.Millisecond,
+		AttemptTimeout: time.Second,
+	}
+}
+
+func TestFlakyBackendRecovers(t *testing.T) {
+	ts := rclienttest.New(rclienttest.Config{FailFirst: 2, Body: "recovered"})
+	defer ts.Close()
+
+	resp, err := fastClient().Get(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "recovered" {
+		t.Fatalf("got %d %q", resp.StatusCode, body)
+	}
+	if got := ts.Calls(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+func TestFlakyBackendExhaustsRetries(t *testing.T) {
+	ts := rclienttest.New(rclienttest.Config{FailFirst: 10})
+	defer ts.Close()
+
+	c := fastClient()
+	_, err := c.Get(context.Background(), ts.URL)
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	if !strings.Contains(err.Error(), "giving up after 4 attempts") {
+		t.Fatalf("error = %v, want giving-up message", err)
+	}
+	if got := ts.Calls(); got != 4 {
+		t.Fatalf("server saw %d calls, want 4 (1 + 3 retries)", got)
+	}
+}
+
+func TestSlowBackendHitsAttemptTimeout(t *testing.T) {
+	ts := rclienttest.New(rclienttest.Config{DelayFirst: -1, Delay: 200 * time.Millisecond})
+	defer ts.Close()
+
+	c := fastClient()
+	c.AttemptTimeout = 20 * time.Millisecond
+	start := time.Now()
+	_, err := c.Get(context.Background(), ts.URL)
+	if err == nil {
+		t.Fatal("want error from slow backend")
+	}
+	if got := ts.Calls(); got != 4 {
+		t.Fatalf("server saw %d calls, want 4", got)
+	}
+	// Each attempt must have been cut off near the per-attempt timeout,
+	// not the full server delay.
+	if elapsed := time.Since(start); elapsed > 600*time.Millisecond {
+		t.Fatalf("elapsed %v: attempts were not bounded by AttemptTimeout", elapsed)
+	}
+}
+
+func TestSlowBackendRecoversAfterFirstAttempt(t *testing.T) {
+	ts := rclienttest.New(rclienttest.Config{DelayFirst: 1, Delay: 200 * time.Millisecond, Body: "late"})
+	defer ts.Close()
+
+	c := fastClient()
+	c.AttemptTimeout = 30 * time.Millisecond
+	resp, err := c.Get(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "late" {
+		t.Fatalf("body = %q", body)
+	}
+	if got := ts.Calls(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
+func TestHardDownBackend(t *testing.T) {
+	url := rclienttest.NewDown()
+
+	c := fastClient()
+	if _, err := c.Get(context.Background(), url); err == nil {
+		t.Fatal("want transport error from down backend")
+	}
+
+	// POST to a dead backend must fail fast without retries unless the
+	// caller opted in.
+	start := time.Now()
+	if _, err := c.Post(context.Background(), url, "application/json", []byte("{}")); err == nil {
+		t.Fatal("want transport error from down backend")
+	} else if strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("POST was retried without RetryPOST: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("POST fail-fast took %v", elapsed)
+	}
+
+	c.RetryPOST = true
+	if _, err := c.Post(context.Background(), url, "application/json", []byte("{}")); err == nil {
+		t.Fatal("want error")
+	} else if !strings.Contains(err.Error(), "giving up after 4 attempts") {
+		t.Fatalf("RetryPOST error = %v, want giving-up message", err)
+	}
+}
+
+func TestPostBodyRewindsAcrossRetries(t *testing.T) {
+	ts := rclienttest.New(rclienttest.Config{FailFirst: 2, Body: "done"})
+	defer ts.Close()
+
+	c := fastClient()
+	c.RetryPOST = true
+	resp, err := c.Post(context.Background(), ts.URL, "application/json", []byte(`{"eps":0.1}`))
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	resp.Body.Close()
+	if got := ts.Calls(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestClientErrorsAreNotRetried(t *testing.T) {
+	ts := rclienttest.New(rclienttest.Config{FailFirst: 5, FailStatus: http.StatusNotFound})
+	defer ts.Close()
+
+	resp, err := fastClient().Get(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404 passed through", resp.StatusCode)
+	}
+	if got := ts.Calls(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry on 4xx)", got)
+	}
+}
+
+func TestContextCancellationStopsRetries(t *testing.T) {
+	ts := rclienttest.New(rclienttest.Config{FailFirst: 100})
+	defer ts.Close()
+
+	c := fastClient()
+	c.BaseDelay = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := c.Get(ctx, ts.URL)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), context.DeadlineExceeded.Error()) {
+		t.Fatalf("error = %v, want context deadline", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name      string
+		method    string
+		status    int
+		err       error
+		retryPOST bool
+		want      Decision
+	}{
+		{"get transport error", "GET", 0, io.ErrUnexpectedEOF, false, Retry},
+		{"put transport error", "PUT", 0, io.ErrUnexpectedEOF, false, Retry},
+		{"delete transport error", "DELETE", 0, io.ErrUnexpectedEOF, false, Retry},
+		{"post transport error", "POST", 0, io.ErrUnexpectedEOF, false, Fail},
+		{"post transport error opted in", "POST", 0, io.ErrUnexpectedEOF, true, Retry},
+		{"get 500", "GET", 500, nil, false, Retry},
+		{"post 503", "POST", 503, nil, false, Retry},
+		{"get 429", "GET", 429, nil, false, Retry},
+		{"get 200", "GET", 200, nil, false, Accept},
+		{"get 404", "GET", 404, nil, false, Accept},
+		{"post 400", "POST", 400, nil, true, Accept},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.method, tc.status, tc.err, tc.retryPOST); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	base, max := 10*time.Millisecond, 160*time.Millisecond
+	for attempt := 1; attempt <= 20; attempt++ {
+		for trial := 0; trial < 50; trial++ {
+			d := Backoff(attempt, base, max)
+			if d < base/2 {
+				t.Fatalf("attempt %d: delay %v below base/2", attempt, d)
+			}
+			if d > max {
+				t.Fatalf("attempt %d: delay %v exceeds max %v", attempt, d, max)
+			}
+			// The exponential ceiling for this attempt, pre-jitter.
+			ceil := base << (attempt - 1)
+			if attempt > 5 || ceil > max {
+				ceil = max
+			}
+			if d >= ceil && ceil > 1 {
+				t.Fatalf("attempt %d: delay %v not under jittered ceiling %v", attempt, d, ceil)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package rclienttest provides configurable httptest backends for
+// exercising retry clients: flaky (fail N calls then succeed), slow
+// (delay N calls past a per-attempt timeout), and hard-down servers,
+// with thread-safe call counting so tests can assert attempt counts.
+package rclienttest
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// Config shapes a Server's behavior. The zero value answers every call
+// immediately with 200 and Body "ok".
+type Config struct {
+	// FailFirst makes the first n calls answer FailStatus.
+	FailFirst int
+	// FailStatus is the status for failed calls (default 503).
+	FailStatus int
+	// DelayFirst makes the first n calls sleep Delay before answering;
+	// < 0 delays every call.
+	DelayFirst int
+	// Delay is the per-call sleep for delayed calls.
+	Delay time.Duration
+	// Body is the success payload (default "ok").
+	Body string
+}
+
+// Server is an httptest.Server with call counting.
+type Server struct {
+	*httptest.Server
+
+	mu    sync.Mutex
+	calls int
+}
+
+// New starts a Server with the given behavior. Close it when done.
+func New(cfg Config) *Server {
+	if cfg.FailStatus == 0 {
+		cfg.FailStatus = http.StatusServiceUnavailable
+	}
+	if cfg.Body == "" {
+		cfg.Body = "ok"
+	}
+	s := &Server{}
+	s.Server = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		call := s.inc()
+		if cfg.Delay > 0 && (cfg.DelayFirst < 0 || call <= cfg.DelayFirst) {
+			time.Sleep(cfg.Delay)
+		}
+		if call <= cfg.FailFirst {
+			http.Error(w, "injected failure", cfg.FailStatus)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(cfg.Body))
+	}))
+	return s
+}
+
+// NewDown returns the URL of a server that is already stopped — every
+// request fails at the transport layer.
+func NewDown() string {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+	return url
+}
+
+func (s *Server) inc() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	return s.calls
+}
+
+// Calls returns how many requests the server has received.
+func (s *Server) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
