@@ -7,6 +7,7 @@ package simjoin_test
 // curves with `go run ./cmd/repro`.
 
 import (
+	"runtime"
 	"testing"
 
 	"simjoin"
@@ -203,4 +204,44 @@ func ftoa(v float64) string {
 	whole := int(v)
 	frac := int(v*100+0.5) - whole*100
 	return itoa(whole) + "p" + itoa(frac)
+}
+
+// BenchmarkT3TwoSetJoinWorkers times the parallel two-set join engine at
+// the tentpole's acceptance scale — a 100k×100k uniform workload —
+// pinning Workers=1 against Workers=GOMAXPROCS over identical inputs.
+// TestJoinParallelLargeMatchesSerial asserts both configurations produce
+// the identical sorted pair set; this benchmark times them (count-only,
+// so the measurement is the join engine, not result buffering).
+func BenchmarkT3TwoSetJoinWorkers(b *testing.B) {
+	a, err := simjoin.Synthetic("uniform", 100000, 8, 0x75)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := simjoin.Synthetic("uniform", 100000, 8, 0x76)
+	if err != nil {
+		b.Fatal(err)
+	}
+	no := false
+	// Floor the parallel leg at 2 so the two sub-benchmarks stay distinct
+	// even on a single-core runner.
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 2 {
+		parallel = 2
+	}
+	for _, workers := range []int{1, parallel} {
+		b.Run(benchName("ekdb", "workers", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var pairsFound int64
+			for i := 0; i < b.N; i++ {
+				res, err := simjoin.Join(a, c, simjoin.Options{
+					Eps: 0.1, Workers: workers, CollectPairs: &no,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pairsFound = res.Stats.Results
+			}
+			b.ReportMetric(float64(pairsFound), "pairs")
+		})
+	}
 }

@@ -33,8 +33,9 @@ func main() {
 		eps      = flag.Float64("eps", 0, "similarity threshold ε (required, > 0)")
 		metric   = flag.String("metric", "L2", "distance metric: L2, L1 or Linf")
 		algo     = flag.String("algo", string(simjoin.AlgorithmEKDB), "join algorithm: ekdb, brute, sweep, grid, kdtree, rtree, zorder")
-		workers  = flag.Int("workers", 1, "parallel workers (ekdb and grid self-joins; KNN joins)")
+		workers  = flag.Int("workers", 1, "parallel workers (ekdb/grid/kdtree joins and self-joins; KNN joins)")
 		count    = flag.Bool("count", false, "print only the pair count and statistics")
+		stream   = flag.Bool("stream", false, "print pairs as they are found instead of buffering the result set (memory stays flat)")
 		quiet    = flag.Bool("quiet", false, "suppress the statistics footer on stderr")
 		knn      = flag.Int("knn", 0, "k-nearest-neighbor join instead of an ε-join (requires -with; ignores -eps)")
 	)
@@ -46,15 +47,18 @@ func main() {
 		}
 		return
 	}
-	if err := run(*inPath, *withPath, *eps, *metric, *algo, *workers, *count, *quiet, os.Stdout, os.Stderr); err != nil {
+	if err := run(*inPath, *withPath, *eps, *metric, *algo, *workers, *count, *stream, *quiet, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "simjoin:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, withPath string, eps float64, metric, algo string, workers int, countOnly, quiet bool, stdout, stderr io.Writer) error {
+func run(inPath, withPath string, eps float64, metric, algo string, workers int, countOnly, stream, quiet bool, stdout, stderr io.Writer) error {
 	if inPath == "" {
 		return fmt.Errorf("-in is required")
+	}
+	if countOnly && stream {
+		return fmt.Errorf("-count and -stream are mutually exclusive")
 	}
 	m, err := simjoin.ParseMetric(metric)
 	if err != nil {
@@ -74,12 +78,8 @@ func run(inPath, withPath string, eps float64, metric, algo string, workers int,
 		off := false
 		opt.CollectPairs = &off
 	}
-
-	var res *simjoin.Result
 	var b *simjoin.Dataset
-	if withPath == "" {
-		res, err = simjoin.SelfJoin(a, opt)
-	} else {
+	if withPath != "" {
 		b, err = simjoin.Load(withPath)
 		if err != nil {
 			return fmt.Errorf("loading %s: %w", withPath, err)
@@ -87,27 +87,49 @@ func run(inPath, withPath string, eps float64, metric, algo string, workers int,
 		if b.Dims() != a.Dims() {
 			return fmt.Errorf("dimensionality mismatch: %d vs %d", a.Dims(), b.Dims())
 		}
-		res, err = simjoin.Join(a, b, opt)
 	}
-	if err != nil {
-		return err
+	second := a
+	if b != nil {
+		second = b
 	}
 
 	out := bufio.NewWriter(stdout)
 	defer out.Flush()
-	if countOnly {
-		fmt.Fprintf(out, "%d\n", res.Stats.Results)
-	} else {
-		second := a
-		if b != nil {
-			second = b
+
+	var s simjoin.Stats
+	if stream {
+		// Pairs print the moment the join finds them; nothing buffers.
+		emit := func(i, j int) {
+			fmt.Fprintf(out, "%d,%d,%g\n", i, j, dist(m, a.Point(i), second.Point(j)))
 		}
-		for _, p := range res.Pairs {
-			fmt.Fprintf(out, "%d,%d,%g\n", p.I, p.J, dist(m, a.Point(p.I), second.Point(p.J)))
+		if b == nil {
+			s, err = simjoin.SelfJoinEach(a, opt, emit)
+		} else {
+			s, err = simjoin.JoinEach(a, b, opt, emit)
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		var res *simjoin.Result
+		if b == nil {
+			res, err = simjoin.SelfJoin(a, opt)
+		} else {
+			res, err = simjoin.Join(a, b, opt)
+		}
+		if err != nil {
+			return err
+		}
+		s = res.Stats
+		if countOnly {
+			fmt.Fprintf(out, "%d\n", s.Results)
+		} else {
+			for _, p := range res.Pairs {
+				fmt.Fprintf(out, "%d,%d,%g\n", p.I, p.J, dist(m, a.Point(p.I), second.Point(p.J)))
+			}
 		}
 	}
 	if !quiet {
-		s := res.Stats
 		fmt.Fprintf(stderr, "pairs=%d candidates=%d distcomps=%d nodevisits=%d elapsed=%s\n",
 			s.Results, s.Candidates, s.DistComps, s.NodeVisits, s.Elapsed)
 	}

@@ -24,7 +24,7 @@ func TestSelfJoinOutput(t *testing.T) {
 		{0, 0}, {0.05, 0}, {0.5, 0.5}, {0.52, 0.5}, {0.9, 0.9},
 	})
 	var out, errw strings.Builder
-	if err := run(in, "", 0.1, "L2", "ekdb", 1, false, false, &out, &errw); err != nil {
+	if err := run(in, "", 0.1, "L2", "ekdb", 1, false, false, false, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	lines := nonEmptyLines(out.String())
@@ -50,7 +50,7 @@ func TestSelfJoinOutput(t *testing.T) {
 func TestCountOnlyAndQuiet(t *testing.T) {
 	in := writeFixture(t, "a.bin", [][]float64{{0}, {0.01}, {5}})
 	var out, errw strings.Builder
-	if err := run(in, "", 0.1, "L2", "brute", 1, true, true, &out, &errw); err != nil {
+	if err := run(in, "", 0.1, "L2", "brute", 1, true, false, true, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "1" {
@@ -65,7 +65,7 @@ func TestTwoSetJoin(t *testing.T) {
 	a := writeFixture(t, "a.csv", [][]float64{{0, 0}, {1, 1}})
 	b := writeFixture(t, "b.csv", [][]float64{{0.05, 0}, {9, 9}})
 	var out, errw strings.Builder
-	if err := run(a, b, 0.1, "L2", "rtree", 1, false, true, &out, &errw); err != nil {
+	if err := run(a, b, 0.1, "L2", "rtree", 1, false, false, true, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	lines := nonEmptyLines(out.String())
@@ -79,12 +79,14 @@ func TestRunErrors(t *testing.T) {
 	bad3d := writeFixture(t, "b.csv", [][]float64{{0, 0, 0}})
 	var out, errw strings.Builder
 	for name, call := range map[string]func() error{
-		"missing -in":   func() error { return run("", "", 0.1, "L2", "ekdb", 1, false, true, &out, &errw) },
-		"bad metric":    func() error { return run(good, "", 0.1, "cosine", "ekdb", 1, false, true, &out, &errw) },
-		"bad algorithm": func() error { return run(good, "", 0.1, "L2", "lsh", 1, false, true, &out, &errw) },
-		"missing file":  func() error { return run("/no/such/file.csv", "", 0.1, "L2", "ekdb", 1, false, true, &out, &errw) },
-		"dims mismatch": func() error { return run(good, bad3d, 0.1, "L2", "ekdb", 1, false, true, &out, &errw) },
-		"zero eps":      func() error { return run(good, "", 0, "L2", "ekdb", 1, false, true, &out, &errw) },
+		"missing -in":   func() error { return run("", "", 0.1, "L2", "ekdb", 1, false, false, true, &out, &errw) },
+		"bad metric":    func() error { return run(good, "", 0.1, "cosine", "ekdb", 1, false, false, true, &out, &errw) },
+		"bad algorithm": func() error { return run(good, "", 0.1, "L2", "lsh", 1, false, false, true, &out, &errw) },
+		"missing file": func() error {
+			return run("/no/such/file.csv", "", 0.1, "L2", "ekdb", 1, false, false, true, &out, &errw)
+		},
+		"dims mismatch": func() error { return run(good, bad3d, 0.1, "L2", "ekdb", 1, false, false, true, &out, &errw) },
+		"zero eps":      func() error { return run(good, "", 0, "L2", "ekdb", 1, false, false, true, &out, &errw) },
 	} {
 		if err := call(); err == nil {
 			t.Errorf("%s accepted", name)
@@ -145,5 +147,63 @@ func TestRunKNNErrors(t *testing.T) {
 	}
 	if err := runKNN(a, "/no/file.csv", 2, "L2", 1, &out); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestStreamMatchesBuffered(t *testing.T) {
+	pts := [][]float64{
+		{0, 0}, {0.05, 0}, {0.5, 0.5}, {0.52, 0.5}, {0.9, 0.9},
+	}
+	in := writeFixture(t, "a.csv", pts)
+	var buffered, streamed, errw strings.Builder
+	if err := run(in, "", 0.1, "L2", "ekdb", 1, false, false, true, &buffered, &errw); err != nil {
+		t.Fatal(err)
+	}
+	// Streamed pairs arrive in engine order; compare as sets. Workers>1
+	// exercises the funnel path end to end.
+	for _, workers := range []int{1, 4} {
+		streamed.Reset()
+		errw.Reset()
+		if err := run(in, "", 0.1, "L2", "ekdb", workers, false, true, false, &streamed, &errw); err != nil {
+			t.Fatal(err)
+		}
+		want := nonEmptyLines(buffered.String())
+		got := nonEmptyLines(streamed.String())
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: streamed %d lines, buffered %d", workers, len(got), len(want))
+		}
+		wantSet := map[string]bool{}
+		for _, l := range want {
+			wantSet[l] = true
+		}
+		for _, l := range got {
+			if !wantSet[l] {
+				t.Fatalf("workers=%d: streamed line %q not in buffered output", workers, l)
+			}
+		}
+		if !strings.Contains(errw.String(), "pairs=2") {
+			t.Errorf("workers=%d: stats footer missing: %q", workers, errw.String())
+		}
+	}
+}
+
+func TestStreamTwoSet(t *testing.T) {
+	a := writeFixture(t, "a.csv", [][]float64{{0, 0}, {5, 5}})
+	b := writeFixture(t, "b.csv", [][]float64{{0.05, 0}, {9, 9}})
+	var out, errw strings.Builder
+	if err := run(a, b, 0.1, "L2", "", 2, false, true, true, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	lines := nonEmptyLines(out.String())
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "0,0,") {
+		t.Fatalf("streamed two-set output = %q", out.String())
+	}
+}
+
+func TestStreamAndCountExclusive(t *testing.T) {
+	in := writeFixture(t, "a.csv", [][]float64{{0}, {1}})
+	var out, errw strings.Builder
+	if err := run(in, "", 0.1, "L2", "", 1, true, true, true, &out, &errw); err == nil {
+		t.Fatal("run accepted -count with -stream")
 	}
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
@@ -142,13 +144,18 @@ func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	start := time.Now()
-	res, err := s.c.SelfJoin(r.Context(), r.PathValue("name"), cluster.JoinQuery{
+	q := cluster.JoinQuery{
 		Eps:       p.Eps,
 		Metric:    p.Metric,
 		Algorithm: p.Algorithm,
 		Workers:   p.Workers,
-	})
+	}
+	if p.Stream {
+		s.streamSelfJoin(w, r, p, q)
+		return
+	}
+	start := time.Now()
+	res, err := s.c.SelfJoin(r.Context(), r.PathValue("name"), q)
 	if err != nil {
 		coordError(w, err)
 		return
@@ -169,6 +176,49 @@ func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		out.Pairs = [][2]int{}
 	}
 	writeJSON(w, out)
+}
+
+// streamSelfJoin answers a distributed self-join as NDJSON: pairs flow
+// from the shards through the coordinator to the client as they arrive —
+// end to end, no full pair set is buffered anywhere. The closing summary
+// object carries the cluster degradation fields.
+func (s *coordServer) streamSelfJoin(w http.ResponseWriter, r *http.Request, p joinParams, q cluster.JoinQuery) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	flusher, _ := w.(http.Flusher)
+	start := time.Now()
+	var sent int64
+	res, err := s.c.SelfJoinEach(r.Context(), r.PathValue("name"), q, func(i, j int) {
+		if p.MaxPairs > 0 && sent >= int64(p.MaxPairs) {
+			return
+		}
+		sent++
+		fmt.Fprintf(bw, "[%d,%d]\n", i, j)
+		if sent%streamFlushEvery == 0 {
+			_ = bw.Flush()
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+	if err != nil {
+		// SelfJoinEach fails before delivering any pair (validation, or
+		// every shard down), so a plain error answer is still possible.
+		coordError(w, err)
+		return
+	}
+	summary := map[string]any{
+		"total":         res.Pairs,
+		"truncated":     p.MaxPairs > 0 && res.Pairs > int64(p.MaxPairs),
+		"elapsed_ms":    float64(time.Since(start).Microseconds()) / 1000,
+		"shards":        res.Shards,
+		"partial":       res.Partial,
+		"failed_shards": res.Failed,
+	}
+	line, _ := json.Marshal(summary)
+	bw.Write(line)
+	bw.WriteByte('\n')
+	_ = bw.Flush()
 }
 
 func (s *coordServer) handleRange(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -248,6 +249,7 @@ type joinParams struct {
 	Algorithm string  `json:"algorithm"` // default "ekdb"; "auto" allowed
 	Workers   int     `json:"workers"`
 	MaxPairs  int     `json:"max_pairs"` // truncate the response (0 = no cap)
+	Stream    bool    `json:"stream"`    // NDJSON: one [i,j] line per pair, then a summary object
 }
 
 func (p joinParams) options() (simjoin.Options, error) {
@@ -284,6 +286,50 @@ func toJoinResponse(res *simjoin.Result, maxPairs int) joinResponse {
 	return out
 }
 
+// streamFlushEvery is how many NDJSON pair lines accumulate between
+// explicit flushes to the client.
+const streamFlushEvery = 1024
+
+// streamPairs answers a join request as NDJSON — one [i,j] line per pair
+// the moment the join finds it, closed by a summary object — so neither
+// the server nor the client ever holds the full pair set. each runs the
+// streaming join with the provided emit callback; its only possible
+// errors are validation errors raised before the first pair, so they can
+// still be answered with a plain HTTP error.
+func streamPairs(w http.ResponseWriter, maxPairs int, each func(emit func(i, j int)) (simjoin.Stats, error)) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	flusher, _ := w.(http.Flusher)
+	var sent int64
+	emit := func(i, j int) {
+		if maxPairs > 0 && sent >= int64(maxPairs) {
+			return
+		}
+		sent++
+		fmt.Fprintf(bw, "[%d,%d]\n", i, j)
+		if sent%streamFlushEvery == 0 {
+			_ = bw.Flush()
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	st, err := each(emit)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	summary := map[string]any{
+		"total":      st.Results,
+		"truncated":  maxPairs > 0 && st.Results > int64(maxPairs),
+		"elapsed_ms": float64(st.Elapsed.Microseconds()) / 1000,
+	}
+	line, _ := json.Marshal(summary)
+	bw.Write(line)
+	bw.WriteByte('\n')
+	_ = bw.Flush()
+}
+
 func (s *server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.get(r.PathValue("name"))
 	if !ok {
@@ -298,6 +344,12 @@ func (s *server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 	opt, err := p.options()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if p.Stream {
+		streamPairs(w, p.MaxPairs, func(emit func(i, j int)) (simjoin.Stats, error) {
+			return simjoin.SelfJoinEach(e.dataset(), opt, emit)
+		})
 		return
 	}
 	res, err := simjoin.SelfJoin(e.dataset(), opt)
@@ -339,6 +391,12 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	opt, err := req.options()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Stream {
+		streamPairs(w, req.MaxPairs, func(emit func(i, j int)) (simjoin.Stats, error) {
+			return simjoin.JoinEach(da, db, opt, emit)
+		})
 		return
 	}
 	res, err := simjoin.Join(da, db, opt)

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"testing"
+
+	"simjoin"
+)
+
+// postNDJSON posts a JSON body and decodes an NDJSON answer: pair lines
+// first, one closing summary object last.
+func postNDJSON(t *testing.T, url string, body any) (pairs [][2]int, summary map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if summary != nil {
+			t.Fatalf("line after summary: %s", line)
+		}
+		if line[0] == '[' {
+			var p [2]int
+			if err := json.Unmarshal(line, &p); err != nil {
+				t.Fatalf("bad pair line %q: %v", line, err)
+			}
+			pairs = append(pairs, p)
+			continue
+		}
+		if err := json.Unmarshal(line, &summary); err != nil {
+			t.Fatalf("bad summary line %q: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if summary == nil {
+		t.Fatal("stream ended without a summary line")
+	}
+	return pairs, summary
+}
+
+func sortPairs2(ps [][2]int) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a][0] != ps[b][0] {
+			return ps[a][0] < ps[b][0]
+		}
+		return ps[a][1] < ps[b][1]
+	})
+}
+
+// TestSelfJoinStream checks the worker's NDJSON self-join: same pairs as
+// the buffered answer, delivered line by line with a closing summary.
+func TestSelfJoinStream(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}, {0.05, 0}, {0.5, 0.5}, {0.52, 0.5}, {0.9, 0.9}})
+
+	_, body := doJSON(t, http.MethodPost, ts.URL+"/datasets/a/selfjoin", map[string]any{"eps": 0.1})
+	want := pairsOf(t, body)
+
+	got, summary := postNDJSON(t, ts.URL+"/datasets/a/selfjoin", map[string]any{"eps": 0.1, "stream": true})
+	sortPairs2(got)
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if summary["total"].(float64) != float64(len(want)) || summary["truncated"] != false {
+		t.Fatalf("summary = %v", summary)
+	}
+	if _, ok := summary["elapsed_ms"]; !ok {
+		t.Fatalf("summary missing elapsed_ms: %v", summary)
+	}
+
+	// max_pairs caps the stream and marks the summary truncated.
+	got, summary = postNDJSON(t, ts.URL+"/datasets/a/selfjoin", map[string]any{"eps": 0.1, "stream": true, "max_pairs": 1})
+	if len(got) != 1 || summary["truncated"] != true {
+		t.Fatalf("truncated stream: %d pairs, summary %v", len(got), summary)
+	}
+}
+
+// TestSelfJoinStreamParallel runs the streaming route with Workers>1 over
+// a workload big enough to exercise the funnel, against the buffered
+// serial answer.
+func TestSelfJoinStreamParallel(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "big", clusterPoints(500, 4, 77))
+
+	_, body := doJSON(t, http.MethodPost, ts.URL+"/datasets/big/selfjoin", map[string]any{"eps": 0.25})
+	want := pairsOf(t, body)
+	if len(want) == 0 {
+		t.Fatal("degenerate workload")
+	}
+	got, summary := postNDJSON(t, ts.URL+"/datasets/big/selfjoin",
+		map[string]any{"eps": 0.25, "stream": true, "workers": 4})
+	sortPairs2(got)
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if summary["total"].(float64) != float64(len(want)) {
+		t.Fatalf("summary total = %v, want %d", summary["total"], len(want))
+	}
+}
+
+// TestTwoSetJoinStream checks the /join route's NDJSON variant.
+func TestTwoSetJoinStream(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}, {5, 5}})
+	putPoints(t, ts.URL, "b", [][]float64{{0.05, 0}, {9, 9}})
+	got, summary := postNDJSON(t, ts.URL+"/join",
+		map[string]any{"a": "a", "b": "b", "eps": 0.1, "stream": true})
+	if len(got) != 1 || got[0] != [2]int{0, 0} {
+		t.Fatalf("pairs = %v", got)
+	}
+	if summary["total"].(float64) != 1 {
+		t.Fatalf("summary = %v", summary)
+	}
+}
+
+// TestStreamValidationStillErrors: a streaming request that fails
+// validation must answer a plain JSON error, not an empty stream.
+func TestStreamValidationStillErrors(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}, {1, 1}})
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/datasets/a/selfjoin",
+		map[string]any{"eps": -1, "stream": true})
+	if resp.StatusCode != http.StatusBadRequest || body["error"] == nil {
+		t.Fatalf("bad-eps stream: %d %v", resp.StatusCode, body)
+	}
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/datasets/missing/selfjoin",
+		map[string]any{"eps": 0.1, "stream": true})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing dataset stream: %d %v", resp.StatusCode, body)
+	}
+}
+
+// TestClusterSelfJoinStream is the distributed end of the streaming path:
+// the coordinator's NDJSON answer over real workers must carry exactly
+// the single-node pair set, plus the cluster fields in its summary.
+func TestClusterSelfJoinStream(t *testing.T) {
+	const (
+		n, dims = 400, 5
+		eps     = 0.25
+		margin  = 0.3
+	)
+	coord, _ := startCluster(t, 3, margin)
+	pts := clusterPoints(n, dims, 404)
+	putPoints(t, coord.URL, "d", pts)
+
+	res, err := simjoin.SelfJoin(simjoin.FromPoints(pts), simjoin.Options{Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][2]int, len(res.Pairs))
+	for i, p := range res.Pairs {
+		want[i] = [2]int{p.I, p.J}
+	}
+	sortPairs2(want)
+	if len(want) == 0 {
+		t.Fatal("degenerate workload")
+	}
+
+	got, summary := postNDJSON(t, coord.URL+"/datasets/d/selfjoin",
+		map[string]any{"eps": eps, "stream": true})
+	sortPairs2(got)
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if summary["total"].(float64) != float64(len(want)) || summary["partial"] != false {
+		t.Fatalf("summary = %v", summary)
+	}
+	if int(summary["shards"].(float64)) < 2 {
+		t.Fatalf("streamed join used %v shards — data was not distributed", summary["shards"])
+	}
+}

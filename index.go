@@ -62,6 +62,40 @@ func (x *Index) SelfJoin(opt Options) (*Result, error) {
 	return buildResult(collected, counters.Snapshot(), watch.Elapsed(), opt), nil
 }
 
+// SelfJoinEach streams every qualifying unordered pair (delivered with
+// i < j) to fn as it is found, without materializing a pair slice — the
+// streaming counterpart of SelfJoin, with the same callback contract as
+// the package-level SelfJoinEach: single-goroutine delivery in
+// unspecified order. opt.Workers > 1 runs the stripe-parallel variant
+// through a serializing funnel.
+func (x *Index) SelfJoinEach(opt Options, fn func(i, j int)) (Stats, error) {
+	if err := opt.validate(); err != nil {
+		return Stats{}, err
+	}
+	if opt.Eps > x.eps {
+		return Stats{}, fmt.Errorf("simjoin: query eps %g exceeds index eps %g; rebuild with a larger threshold", opt.Eps, x.eps)
+	}
+	var counters stats.Counters
+	iopt := opt.toInternal(&counters)
+	watch := stats.Start()
+	var n int64
+	deliver := func(i, j int) {
+		if j < i {
+			i, j = j, i
+		}
+		n++
+		fn(i, j)
+	}
+	if opt.Workers > 1 {
+		f := pairs.NewFunnel(deliver)
+		x.t.SelfJoinParallel(iopt, f.Handle)
+		f.Close()
+	} else {
+		x.t.SelfJoin(iopt, pairs.Func(deliver))
+	}
+	return eachStats(n, counters.Snapshot(), watch.Elapsed()), nil
+}
+
 // Range returns the indexes of every point within radius (≤ the index's ε)
 // of q under the given metric.
 func (x *Index) Range(q []float64, metric Metric, radius float64) ([]int, error) {

@@ -199,42 +199,28 @@ type JoinResult struct {
 
 // SelfJoin scatters the self-join to every non-empty shard and merges
 // the answers into the exact global pair set (upload-order indexes,
-// i < j, deduped across shards).
+// i < j, deduped across shards). It is SelfJoinEach collecting into a
+// slice: dedup is positional (see SelfJoinEach), so the only merge-side
+// buffer is the result itself — no per-shard pair sets, no dedup map.
 func (c *Coordinator) SelfJoin(ctx context.Context, name string, q JoinQuery) (*JoinResult, error) {
-	sm, ok := c.Map(name)
-	if !ok {
-		return nil, NotFoundError{Name: name}
-	}
-	if !(q.Eps > 0) {
-		return nil, QueryError{Msg: "eps must be positive"}
-	}
-	if q.Eps > sm.Margin {
-		return nil, queryErrorf("eps %g exceeds the dataset's shard margin %g; re-upload with a larger margin", q.Eps, sm.Margin)
-	}
-	targets := sm.nonEmpty()
-	merged := make(pairSet)
-	var mu sync.Mutex
-	failed := c.scatter(sm, targets, func(s int) error {
-		var out struct {
-			Pairs [][2]int `json:"pairs"`
-		}
-		req := map[string]any{"eps": q.Eps, "metric": q.Metric, "algorithm": q.Algorithm, "workers": q.Workers}
-		if err := c.postJSON(ctx, c.datasetURL(sm, s, name)+"/selfjoin", req, &out); err != nil {
-			return err
-		}
-		mu.Lock()
-		merged.addLocal(out.Pairs, sm.Shards[s].Global)
-		mu.Unlock()
-		return nil
+	out := make([][2]int, 0)
+	sum, err := c.SelfJoinEach(ctx, name, q, func(i, j int) {
+		out = append(out, [2]int{i, j})
 	})
-	if len(failed) == len(targets) && len(targets) > 0 {
-		return nil, UnavailableError{Failed: failed}
+	if err != nil {
+		return nil, err
 	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
 	return &JoinResult{
-		Pairs:   merged.sorted(),
-		Shards:  len(targets),
-		Partial: len(failed) > 0,
-		Failed:  failed,
+		Pairs:   out,
+		Shards:  sum.Shards,
+		Partial: sum.Partial,
+		Failed:  sum.Failed,
 	}, nil
 }
 

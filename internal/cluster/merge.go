@@ -2,37 +2,6 @@ package cluster
 
 import "sort"
 
-// pairSet accumulates canonical global pairs across shards, deduping the
-// pairs that boundary replication makes more than one shard report.
-type pairSet map[[2]int]struct{}
-
-// addLocal folds one shard's worker-local pairs into the set, mapping
-// local indexes to upload order via global.
-func (ps pairSet) addLocal(local [][2]int, global []int) {
-	for _, p := range local {
-		gi, gj := global[p[0]], global[p[1]]
-		if gi > gj {
-			gi, gj = gj, gi
-		}
-		ps[[2]int{gi, gj}] = struct{}{}
-	}
-}
-
-// sorted returns the set's pairs ordered by (i, j).
-func (ps pairSet) sorted() [][2]int {
-	out := make([][2]int, 0, len(ps))
-	for p := range ps {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a][0] != out[b][0] {
-			return out[a][0] < out[b][0]
-		}
-		return out[a][1] < out[b][1]
-	})
-	return out
-}
-
 // indexSet accumulates global point indexes, deduping replicas reported
 // by two shards.
 type indexSet map[int]struct{}

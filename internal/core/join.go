@@ -36,6 +36,22 @@ func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	JoinTrees(ta, tb, opt, sink)
 }
 
+// JoinParallel is Join with the root's stripe work spread across
+// opt.WorkerCount() goroutines: both trees are built with BuildWithBox
+// over the joint bounding box (so they share a frame) and handed to
+// JoinTreesParallel. newSink supplies one private sink per worker.
+func JoinParallel(a, b *dataset.Dataset, opt join.Options, newSink func() pairs.Sink) {
+	opt.MustValidate()
+	if a.Len() == 0 || b.Len() == 0 {
+		return
+	}
+	box := a.Bounds()
+	box.ExtendBox(b.Bounds())
+	ta := BuildWithBox(a, opt.Eps, box, Config{})
+	tb := BuildWithBox(b, opt.Eps, box, Config{})
+	JoinTreesParallel(ta, tb, opt, newSink)
+}
+
 // SelfJoin runs the similarity self-join on a built tree. opt.Eps must not
 // exceed the ε the tree was built for: stripes of width build-ε confine
 // candidates for any smaller threshold too, so one tree built at the

@@ -58,6 +58,43 @@ func Selectivity(ds *dataset.Dataset, m vec.Metric, eps float64, sampleSize int,
 	return float64(SelfJoinSize(ds, m, eps, sampleSize, seed)) / float64(total)
 }
 
+// JoinSize estimates the result cardinality of a two-set join of a and b
+// at the given metric and ε: the exact brute-force count over shuffled
+// subsamples of both sides (each capped at sampleSize; 0 selects
+// SampleSize), scaled by the product of the two sampling ratios. Like
+// SelfJoinSize, expect factor-level accuracy.
+func JoinSize(a, b *dataset.Dataset, m vec.Metric, eps float64, sampleSize int, seed int64) int64 {
+	if sampleSize <= 0 {
+		sampleSize = SampleSize
+	}
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	sample := func(ds *dataset.Dataset, seed int64) (*dataset.Dataset, float64) {
+		if ds.Len() <= sampleSize {
+			return ds, 1
+		}
+		c := ds.Clone()
+		c.Shuffle(seed)
+		return c.Head(sampleSize), float64(ds.Len()) / float64(sampleSize)
+	}
+	sa, ra := sample(a, seed)
+	sb, rb := sample(b, seed^0x7ab1e5)
+	var sink pairs.Counter
+	brute.Join(sa, sb, join.Options{Metric: m, Eps: eps}, &sink)
+	return int64(float64(sink.N()) * ra * rb)
+}
+
+// JoinSelectivity estimates the fraction of the |a|×|b| cross pairs that
+// join (in [0, 1]).
+func JoinSelectivity(a, b *dataset.Dataset, m vec.Metric, eps float64, sampleSize int, seed int64) float64 {
+	total := int64(a.Len()) * int64(b.Len())
+	if total == 0 {
+		return 0
+	}
+	return float64(JoinSize(a, b, m, eps, sampleSize, seed)) / float64(total)
+}
+
 // Choice names the algorithm the chooser picked, using the same names as
 // the public API.
 type Choice string
@@ -89,6 +126,24 @@ func Choose(ds *dataset.Dataset, m vec.Metric, eps float64, seed int64) Choice {
 		return ChooseSweep
 	}
 	if Selectivity(ds, m, eps, 0, seed) >= 0.02 {
+		return ChooseGrid
+	}
+	return ChooseEKDB
+}
+
+// ChooseJoin is Choose for a two-set join. It judges the workload by BOTH
+// sides — total point count against the tiny-input rule, cross-join
+// selectivity sampled from both sets — so a small outer set probing a
+// large inner set is not mistaken for a tiny workload (a, alone, would
+// pass the N ≤ 400 brute rule while b holds millions of points).
+func ChooseJoin(a, b *dataset.Dataset, m vec.Metric, eps float64, seed int64) Choice {
+	if a.Len()+b.Len() <= 400 {
+		return ChooseBrute
+	}
+	if a.Dims() == 1 {
+		return ChooseSweep
+	}
+	if JoinSelectivity(a, b, m, eps, 0, seed) >= 0.02 {
 		return ChooseGrid
 	}
 	return ChooseEKDB

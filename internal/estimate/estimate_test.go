@@ -89,3 +89,54 @@ func TestChooseRules(t *testing.T) {
 		t.Errorf("typical workload chose %s", got)
 	}
 }
+
+func TestChooseJoinRules(t *testing.T) {
+	// Tiny on BOTH sides: nested loop.
+	a := synth.Generate(synth.Config{N: 120, Dims: 5, Seed: 10, Dist: synth.Uniform})
+	b := synth.Generate(synth.Config{N: 150, Dims: 5, Seed: 11, Dist: synth.Uniform})
+	if got := ChooseJoin(a, b, vec.L2, 0.1, 1); got != ChooseBrute {
+		t.Errorf("tiny×tiny chose %s", got)
+	}
+	// The satellite regression: a tiny outer set probing a large inner
+	// set passes the single-set N ≤ 400 rule but must NOT pick brute —
+	// the workload is |a|·|b| comparisons, not |a|².
+	big := synth.Generate(synth.Config{N: 6000, Dims: 5, Seed: 12, Dist: synth.GaussianClusters})
+	if got := Choose(a, vec.L2, 0.05, 1); got != ChooseBrute {
+		t.Fatalf("precondition: Choose(a) = %s, want brute", got)
+	}
+	if got := ChooseJoin(a, big, vec.L2, 0.05, 1); got == ChooseBrute {
+		t.Errorf("tiny×large chose brute")
+	}
+	// One dimension: sort-sweep.
+	a1 := synth.Generate(synth.Config{N: 3000, Dims: 1, Seed: 13, Dist: synth.Uniform})
+	b1 := synth.Generate(synth.Config{N: 3000, Dims: 1, Seed: 14, Dist: synth.Uniform})
+	if got := ChooseJoin(a1, b1, vec.L2, 0.01, 1); got != ChooseSweep {
+		t.Errorf("1-D chose %s", got)
+	}
+	// Unselective cross join: grid.
+	ua := synth.Generate(synth.Config{N: 4000, Dims: 3, Seed: 15, Dist: synth.Uniform})
+	ub := synth.Generate(synth.Config{N: 4000, Dims: 3, Seed: 16, Dist: synth.Uniform})
+	if got := ChooseJoin(ua, ub, vec.L2, 0.6, 1); got != ChooseGrid {
+		t.Errorf("unselective chose %s", got)
+	}
+	// Typical selective workload: ε-kdB.
+	ta := synth.Generate(synth.Config{N: 4000, Dims: 8, Seed: 17, Dist: synth.GaussianClusters})
+	tb := synth.Generate(synth.Config{N: 4000, Dims: 8, Seed: 18, Dist: synth.GaussianClusters})
+	if got := ChooseJoin(ta, tb, vec.L2, 0.05, 1); got != ChooseEKDB {
+		t.Errorf("typical chose %s", got)
+	}
+}
+
+func TestJoinSizeAgainstExact(t *testing.T) {
+	a := synth.Generate(synth.Config{N: 250, Dims: 4, Seed: 20, Dist: synth.GaussianClusters})
+	b := synth.Generate(synth.Config{N: 200, Dims: 4, Seed: 21, Dist: synth.GaussianClusters})
+	var sink pairs.Counter
+	brute.Join(a, b, join.Options{Metric: vec.L2, Eps: 0.15}, &sink)
+	// Both sets fit inside the sample, so the estimate is exact.
+	if got := JoinSize(a, b, vec.L2, 0.15, 0, 1); got != sink.N() {
+		t.Errorf("small JoinSize = %d, exact %d", got, sink.N())
+	}
+	if JoinSize(a, dataset.New(4, 0), vec.L2, 0.15, 0, 1) != 0 {
+		t.Error("empty side gave nonzero estimate")
+	}
+}

@@ -16,6 +16,66 @@ import (
 // this embarrassingly parallel: each occupied cell owns its within-cell
 // pairs and its lexicographically-positive neighbor pairs, so no pair is
 // claimed by two cells.
+// JoinParallel is Join with the probe side spread across
+// opt.WorkerCount() goroutines: the grid is built once over b (on the
+// joint bounding box, exactly as JoinConfig does), then the workers
+// stride over a's points, each probing its own 3^g neighborhood into a
+// private sink from newSink. Point-partitioning the probe side cannot
+// duplicate: every (a, b) pair is owned by its a-point.
+func JoinParallel(a, b *dataset.Dataset, opt join.Options, cfg Config, newSink func() pairs.Sink) {
+	opt.MustValidate()
+	if a.Len() == 0 || b.Len() == 0 {
+		return
+	}
+	c := opt.Stats()
+	t := opt.Threshold()
+	box := a.Bounds()
+	box.ExtendBox(b.Bounds())
+	ix := build(b, opt.Eps, box, cfg)
+	g := len(ix.gridded)
+	offsets := allOffsets(g)
+	workers := opt.WorkerCount()
+	if workers > a.Len() {
+		workers = a.Len()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sink := newSink()
+			coords := make([]int32, g)
+			nb := make([]int32, g)
+			keyBuf := make([]byte, 0, 4*g)
+			var cand, res int64
+			for i := w; i < a.Len(); i += workers {
+				pa := a.Point(i)
+				ix.cellOf(pa, coords)
+				for _, off := range offsets {
+					for k := range nb {
+						nb[k] = coords[k] + int32(off[k])
+					}
+					members, ok := ix.cells[string(encode(keyBuf[:0], nb))]
+					if !ok {
+						continue
+					}
+					for _, ib := range members {
+						cand++
+						if vec.Within(opt.Metric, pa, b.Point(int(ib)), t) {
+							res++
+							sink.Emit(i, int(ib))
+						}
+					}
+				}
+			}
+			c.AddCandidates(cand)
+			c.AddDistComps(cand)
+			c.AddResults(res)
+		}(w)
+	}
+	wg.Wait()
+}
+
 func SelfJoinParallel(ds *dataset.Dataset, opt join.Options, cfg Config, newSink func() pairs.Sink) {
 	opt.MustValidate()
 	if ds.Len() < 2 {

@@ -10,6 +10,7 @@ package join
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 
 	"simjoin/internal/stats"
@@ -33,8 +34,8 @@ type Options struct {
 
 // Validate reports whether the options are usable.
 func (o Options) Validate() error {
-	if !(o.Eps > 0) { // also rejects NaN
-		return fmt.Errorf("join: Eps must be positive, got %g", o.Eps)
+	if !(o.Eps > 0) || math.IsInf(o.Eps, 0) { // !(Eps > 0) also rejects NaN
+		return fmt.Errorf("join: Eps must be positive and finite, got %g", o.Eps)
 	}
 	if !o.Metric.Valid() {
 		return fmt.Errorf("join: invalid metric %d", int(o.Metric))

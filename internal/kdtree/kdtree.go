@@ -285,6 +285,42 @@ func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	opt.Stats().AddResults(res)
 }
 
+// JoinParallel is Join with the probe side spread across
+// opt.WorkerCount() goroutines: the tree is built once over b, then the
+// workers stride over a's points, each answering its own range queries
+// into a private sink from newSink. Point-partitioning the probe side
+// cannot duplicate: every (a, b) pair is owned by its a-point.
+func JoinParallel(a, b *dataset.Dataset, opt join.Options, newSink func() pairs.Sink) {
+	opt.MustValidate()
+	if a.Len() == 0 || b.Len() == 0 {
+		return
+	}
+	t := Build(b, 0)
+	workers := opt.WorkerCount()
+	if workers > a.Len() {
+		workers = a.Len()
+	}
+	var wg sync.WaitGroup
+	var results atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sink := newSink()
+			var res int64
+			for i := w; i < a.Len(); i += workers {
+				t.Range(a.Point(i), opt.Metric, opt.Eps, opt.Counters, func(j int) {
+					res++
+					sink.Emit(i, j)
+				})
+			}
+			results.Add(res)
+		}(w)
+	}
+	wg.Wait()
+	opt.Stats().AddResults(results.Load())
+}
+
 // checkInvariants verifies structural invariants for tests: every leaf
 // point lies inside its node box, every box inside its parent's, split
 // separation holds, and every dataset index appears exactly once.

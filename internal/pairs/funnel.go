@@ -1,0 +1,100 @@
+package pairs
+
+import "sync"
+
+// Func adapts a plain callback into a Sink for serial joins. Like any
+// non-concurrent Sink it must not be shared across worker goroutines;
+// parallel joins funnel through a Funnel instead.
+type Func func(i, j int)
+
+// Emit implements Sink.
+func (f Func) Emit(i, j int) { f(i, j) }
+
+// funnelBatch is the per-handle buffer size: large enough to amortize the
+// channel send far below the per-pair work, small enough to keep delivery
+// latency and per-worker memory trivial.
+const funnelBatch = 1024
+
+// Funnel turns a single-goroutine callback into the per-worker sinks a
+// parallel join needs: each worker gets a private batching handle, batches
+// flow over one channel to a dedicated consumer goroutine, and that
+// goroutine alone invokes the callback. The callback therefore keeps the
+// exact contract of the serial path — never concurrent, never reentrant —
+// while workers pay one channel send per funnelBatch pairs instead of a
+// lock per pair.
+//
+// Use: f := NewFunnel(fn); pass f.Handle as the per-worker sink factory;
+// after every worker has returned, call f.Close() to flush the tails and
+// wait for the last callback to finish. Emitting through a handle after
+// Close is a bug.
+type Funnel struct {
+	ch   chan []Pair
+	done chan struct{}
+
+	mu      sync.Mutex
+	handles []*funnelHandle
+}
+
+// NewFunnel starts the consumer goroutine delivering every funneled pair
+// to fn.
+func NewFunnel(fn func(i, j int)) *Funnel {
+	f := &Funnel{ch: make(chan []Pair, 16), done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		for batch := range f.ch {
+			for _, p := range batch {
+				fn(int(p.I), int(p.J))
+			}
+		}
+	}()
+	return f
+}
+
+// funnelHandle is one worker's private batching buffer.
+type funnelHandle struct {
+	f   *Funnel
+	buf []Pair
+}
+
+// Emit implements Sink.
+func (h *funnelHandle) Emit(i, j int) {
+	h.buf = append(h.buf, Pair{I: int32(i), J: int32(j)})
+	if len(h.buf) >= funnelBatch {
+		h.flush()
+	}
+}
+
+func (h *funnelHandle) flush() {
+	if len(h.buf) == 0 {
+		return
+	}
+	h.f.ch <- h.buf
+	h.buf = make([]Pair, 0, funnelBatch)
+}
+
+// Handle returns a private, single-goroutine Sink whose pairs funnel to
+// the callback. Matches the newSink factory signature of the parallel
+// join variants.
+func (f *Funnel) Handle() Sink {
+	h := &funnelHandle{f: f}
+	f.mu.Lock()
+	f.handles = append(f.handles, h)
+	f.mu.Unlock()
+	return h
+}
+
+// Close flushes every handle's buffered tail, then waits until the
+// consumer has delivered everything. Call it only after all workers have
+// stopped emitting (e.g. after the parallel join returned); pairs are
+// fully delivered when Close returns.
+func (f *Funnel) Close() {
+	f.mu.Lock()
+	hs := f.handles
+	f.handles = nil
+	f.mu.Unlock()
+	for _, h := range hs {
+		h.flush()
+	}
+	close(f.ch)
+	<-f.done
+}

@@ -1,0 +1,69 @@
+package pairs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFunnelSerializesWorkers drives a funnel from many goroutines and
+// checks (a) every emitted pair arrives exactly once and (b) the callback
+// is never entered concurrently — the whole point of the funnel. The
+// concurrency check is a plain (unsynchronized) counter plus -race.
+func TestFunnelSerializesWorkers(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	seen := make(map[Pair]int)
+	var inFlight int
+	f := NewFunnel(func(i, j int) {
+		inFlight++
+		if inFlight != 1 {
+			t.Errorf("callback entered concurrently")
+		}
+		seen[Pair{I: int32(i), J: int32(j)}]++
+		inFlight--
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sink := f.Handle()
+			for k := 0; k < perWorker; k++ {
+				sink.Emit(w, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	f.Close()
+	if len(seen) != workers*perWorker {
+		t.Fatalf("delivered %d distinct pairs, want %d", len(seen), workers*perWorker)
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Fatalf("pair %v delivered %d times", p, n)
+		}
+	}
+}
+
+// TestFunnelFlushesTails checks Close delivers partial batches — fewer
+// pairs than the batch size must still arrive.
+func TestFunnelFlushesTails(t *testing.T) {
+	var got []Pair
+	f := NewFunnel(func(i, j int) { got = append(got, Pair{I: int32(i), J: int32(j)}) })
+	sink := f.Handle()
+	sink.Emit(1, 2)
+	sink.Emit(3, 4)
+	f.Close()
+	if len(got) != 2 || got[0] != (Pair{I: 1, J: 2}) || got[1] != (Pair{I: 3, J: 4}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestFuncAdapter checks the Func adapter satisfies Sink.
+func TestFuncAdapter(t *testing.T) {
+	var n int
+	var s Sink = Func(func(i, j int) { n += i + j })
+	s.Emit(2, 3)
+	if n != 5 {
+		t.Fatalf("n = %d", n)
+	}
+}

@@ -1,6 +1,7 @@
 package simjoin
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
@@ -27,6 +28,9 @@ type algorithmImpl struct {
 	// parallelSelf, when non-nil, is used instead of self when
 	// Options.Workers > 1.
 	parallelSelf func(*dataset.Dataset, join.Options, func() pairs.Sink)
+	// parallelJoin, when non-nil, is used instead of join when
+	// Options.Workers > 1.
+	parallelJoin func(a, b *dataset.Dataset, opt join.Options, newSink func() pairs.Sink)
 }
 
 var registry = map[Algorithm]algorithmImpl{
@@ -38,6 +42,7 @@ var registry = map[Algorithm]algorithmImpl{
 		parallelSelf: func(ds *dataset.Dataset, opt join.Options, newSink func() pairs.Sink) {
 			kdtree.Build(ds, 0).SelfJoinParallel(opt, newSink)
 		},
+		parallelJoin: kdtree.JoinParallel,
 	},
 	AlgorithmRTree:   {self: rtree.SelfJoin, join: rtree.Join},
 	AlgorithmRPlus:   {self: rplus.SelfJoin, join: rplus.Join},
@@ -50,6 +55,9 @@ var registry = map[Algorithm]algorithmImpl{
 		parallelSelf: func(ds *dataset.Dataset, opt join.Options, newSink func() pairs.Sink) {
 			grid.SelfJoinParallel(ds, opt, grid.DefaultConfig(), newSink)
 		},
+		parallelJoin: func(a, b *dataset.Dataset, opt join.Options, newSink func() pairs.Sink) {
+			grid.JoinParallel(a, b, opt, grid.DefaultConfig(), newSink)
+		},
 	},
 	AlgorithmEKDB: {}, // wired in init: needs per-call Config
 }
@@ -58,6 +66,7 @@ func init() {
 	impl := registry[AlgorithmEKDB]
 	impl.self = core.SelfJoin
 	impl.join = core.Join
+	impl.parallelJoin = core.JoinParallel
 	registry[AlgorithmEKDB] = impl
 }
 
@@ -156,24 +165,146 @@ func runEKDBSelf(ds *dataset.Dataset, iopt join.Options, opt Options) []pairs.Pa
 }
 
 // Join reports every pair (i, j) with dist(a[i], b[j]) ≤ opt.Eps. The two
-// datasets must share one dimensionality.
+// datasets must share one dimensionality (an error otherwise). Workers > 1
+// runs the parallel variant when the algorithm has one (ekdb, grid,
+// kdtree); the result is identical to the serial run.
 func Join(a, b *Dataset, opt Options) (*Result, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	if err := checkJoinDims(a, b); err != nil {
+		return nil, err
+	}
 	var counters stats.Counters
 	iopt := opt.toInternal(&counters)
-	algo := resolveAlgorithm(a, opt)
+	impl := registry[resolveJoinAlgorithm(a, b, opt)]
 	watch := stats.Start()
 	if !opt.collect() {
 		var sink pairs.Counter
-		registry[algo].join(a.internal(), b.internal(), iopt, &sink)
+		if opt.Workers > 1 && impl.parallelJoin != nil {
+			impl.parallelJoin(a.internal(), b.internal(), iopt, func() pairs.Sink { return &sink })
+		} else {
+			impl.join(a.internal(), b.internal(), iopt, &sink)
+		}
 		return countResult(sink.N(), counters.Snapshot(), watch.Elapsed()), nil
 	}
-	col := &pairs.Collector{}
-	registry[algo].join(a.internal(), b.internal(), iopt, col)
+	var collected []pairs.Pair
+	if opt.Workers > 1 && impl.parallelJoin != nil {
+		sh := pairs.NewSharded(false)
+		impl.parallelJoin(a.internal(), b.internal(), iopt, sh.Handle)
+		collected = sh.Merged()
+	} else {
+		col := &pairs.Collector{}
+		impl.join(a.internal(), b.internal(), iopt, col)
+		collected = col.Sorted()
+	}
 	elapsed := watch.Elapsed()
-	return buildResult(col.Sorted(), counters.Snapshot(), elapsed, opt), nil
+	return buildResult(collected, counters.Snapshot(), elapsed, opt), nil
+}
+
+// checkJoinDims rejects two-set inputs of different dimensionality before
+// they can panic deep inside an algorithm.
+func checkJoinDims(a, b *Dataset) error {
+	if a.Dims() != b.Dims() {
+		return fmt.Errorf("simjoin: joining a %d-dim set with a %d-dim set", a.Dims(), b.Dims())
+	}
+	return nil
+}
+
+// SelfJoinEach streams every qualifying unordered pair (delivered with
+// i < j) to fn as it is found, never materializing a Result.Pairs slice —
+// memory stays flat no matter how many pairs qualify. fn is always called
+// from a single goroutine at a time, in unspecified order. Workers > 1
+// runs the parallel variant when the algorithm has one, funneling every
+// worker's pairs through one delivery goroutine. The returned Stats match
+// a collecting run's.
+func SelfJoinEach(ds *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
+	if err := opt.validate(); err != nil {
+		return Stats{}, err
+	}
+	var counters stats.Counters
+	iopt := opt.toInternal(&counters)
+	algo := resolveAlgorithm(ds, opt)
+	impl := registry[algo]
+	watch := stats.Start()
+	var n int64
+	deliver := func(i, j int) {
+		if j < i {
+			i, j = j, i
+		}
+		n++
+		fn(i, j)
+	}
+	switch {
+	case algo == AlgorithmEKDB:
+		runEKDBSelfEach(ds.internal(), iopt, opt, deliver)
+	case opt.Workers > 1 && impl.parallelSelf != nil:
+		f := pairs.NewFunnel(deliver)
+		impl.parallelSelf(ds.internal(), iopt, f.Handle)
+		f.Close()
+	default:
+		impl.self(ds.internal(), iopt, pairs.Func(deliver))
+	}
+	return eachStats(n, counters.Snapshot(), watch.Elapsed()), nil
+}
+
+// runEKDBSelfEach is the streaming counterpart of runEKDBSelf: the tree is
+// built with the public options' knobs and pairs flow to deliver (via a
+// funnel when parallel).
+func runEKDBSelfEach(ds *dataset.Dataset, iopt join.Options, opt Options, deliver func(i, j int)) {
+	if ds.Len() < 2 {
+		return
+	}
+	cfg := core.Config{LeafThreshold: opt.LeafThreshold, BiasedSplit: opt.BiasedSplit}
+	t := core.Build(ds, opt.Eps, cfg)
+	if opt.Workers > 1 {
+		f := pairs.NewFunnel(deliver)
+		t.SelfJoinParallel(iopt, f.Handle)
+		f.Close()
+		return
+	}
+	t.SelfJoin(iopt, pairs.Func(deliver))
+}
+
+// JoinEach streams every (a-index, b-index) pair within opt.Eps to fn as
+// it is found, with the same callback contract as SelfJoinEach:
+// single-goroutine delivery, unspecified order, flat memory. Workers > 1
+// runs the parallel variant when the algorithm has one.
+func JoinEach(a, b *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
+	if err := opt.validate(); err != nil {
+		return Stats{}, err
+	}
+	if err := checkJoinDims(a, b); err != nil {
+		return Stats{}, err
+	}
+	var counters stats.Counters
+	iopt := opt.toInternal(&counters)
+	impl := registry[resolveJoinAlgorithm(a, b, opt)]
+	watch := stats.Start()
+	var n int64
+	deliver := func(i, j int) {
+		n++
+		fn(i, j)
+	}
+	if opt.Workers > 1 && impl.parallelJoin != nil {
+		f := pairs.NewFunnel(deliver)
+		impl.parallelJoin(a.internal(), b.internal(), iopt, f.Handle)
+		f.Close()
+	} else {
+		impl.join(a.internal(), b.internal(), iopt, pairs.Func(deliver))
+	}
+	return eachStats(n, counters.Snapshot(), watch.Elapsed()), nil
+}
+
+// eachStats assembles the Stats of a streaming run.
+func eachStats(n int64, snap stats.Snapshot, elapsed time.Duration) Stats {
+	return Stats{
+		Candidates: snap.Candidates,
+		DistComps:  snap.DistComps,
+		Results:    n,
+		NodeVisits: snap.NodeVisits,
+		Elapsed:    elapsed,
+	}
 }
 
 func buildResult(ps []pairs.Pair, snap stats.Snapshot, elapsed time.Duration, opt Options) *Result {
@@ -194,8 +325,8 @@ func buildResult(ps []pairs.Pair, snap stats.Snapshot, elapsed time.Duration, op
 }
 
 // resolveAlgorithm maps the empty default and AlgorithmAuto to a concrete
-// algorithm. Auto samples ds (the only/outer set) to estimate selectivity;
-// the chooser's rules are documented in internal/estimate.
+// algorithm for self-joins. Auto samples ds to estimate selectivity; the
+// chooser's rules are documented in internal/estimate.
 func resolveAlgorithm(ds *Dataset, opt Options) Algorithm {
 	switch opt.Algorithm {
 	case "":
@@ -205,6 +336,23 @@ func resolveAlgorithm(ds *Dataset, opt Options) Algorithm {
 			return AlgorithmBrute
 		}
 		return Algorithm(estimate.Choose(ds.internal(), opt.Metric.internal(), opt.Eps, 0x5e1ec7))
+	default:
+		return opt.Algorithm
+	}
+}
+
+// resolveJoinAlgorithm is resolveAlgorithm for two-set joins: Auto samples
+// both sets, so a tiny outer set joined against a huge inner set is judged
+// by the workload's true size rather than the outer set alone.
+func resolveJoinAlgorithm(a, b *Dataset, opt Options) Algorithm {
+	switch opt.Algorithm {
+	case "":
+		return AlgorithmEKDB
+	case AlgorithmAuto:
+		if a.Len() == 0 || b.Len() == 0 {
+			return AlgorithmBrute
+		}
+		return Algorithm(estimate.ChooseJoin(a.internal(), b.internal(), opt.Metric.internal(), opt.Eps, 0x5e1ec7))
 	default:
 		return opt.Algorithm
 	}

@@ -2,6 +2,7 @@ package simjoin
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"simjoin/internal/vec"
@@ -118,8 +119,10 @@ type Options struct {
 func (o Options) collect() bool { return o.CollectPairs == nil || *o.CollectPairs }
 
 func (o Options) validate() error {
-	if !(o.Eps > 0) {
-		return fmt.Errorf("simjoin: Eps must be positive, got %g", o.Eps)
+	// !(Eps > 0) also rejects NaN; the explicit IsInf rejects +Inf, which
+	// would otherwise poison grid cell widths and ε-kdB stripe arithmetic.
+	if !(o.Eps > 0) || math.IsInf(o.Eps, 0) {
+		return fmt.Errorf("simjoin: Eps must be positive and finite, got %g", o.Eps)
 	}
 	if o.Metric != L2 && o.Metric != L1 && o.Metric != Linf {
 		return fmt.Errorf("simjoin: unknown metric %d", int(o.Metric))
