@@ -1,0 +1,325 @@
+// Command simjoinbench runs the repository's pinned benchmark suite and
+// writes a machine-readable report, so performance is tracked the same
+// way correctness is: one committed baseline, one comparison gate.
+//
+// The suite is fixed — self-join and two-set join, dimensionality 8 and
+// 16, serial and Workers=NumCPU, collecting and streaming — over seeded
+// synthetic clustered data, so every run measures the same work.
+//
+//	simjoinbench [-quick] [-out BENCH_2006-01-02.json]
+//	simjoinbench -quick -baseline bench/BENCH_xxx.json [-threshold 0.2]
+//	simjoinbench -compare old.json new.json [-threshold 0.2]
+//
+// With -baseline, the freshly measured suite is compared case-by-case
+// against the committed baseline and the process exits 1 when any case's
+// ns/op regressed by more than the threshold. -compare applies the same
+// gate to two existing reports without running anything. Compare runs
+// like against like: a -quick report must be gated against a -quick
+// baseline (the gate refuses otherwise).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"simjoin"
+)
+
+// benchRepeats is how many times each case is measured; the reported
+// ns/op is the fastest run.
+const benchRepeats = 3
+
+// Schema identifies the report format; bump only with a migration note
+// in docs/OBSERVABILITY.md.
+const Schema = "simjoinbench/v1"
+
+// Report is the file simjoinbench writes: the suite's configuration and
+// one Case per pinned benchmark.
+type Report struct {
+	Schema string `json:"schema"`
+	Date   string `json:"date"`
+	Go     string `json:"go"`
+	CPUs   int    `json:"cpus"`
+	Quick  bool   `json:"quick"`
+	Cases  []Case `json:"cases"`
+}
+
+// Case is one pinned benchmark's measurements: the timing triple from
+// testing.Benchmark plus the join's own observability report.
+type Case struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+
+	Pairs     int64 `json:"pairs"`
+	DistComps int64 `json:"dist_comps"`
+	BuildNs   int64 `json:"build_ns"`
+	ProbeNs   int64 `json:"probe_ns"`
+}
+
+// spec pins one suite entry.
+type spec struct {
+	name    string
+	dims    int
+	twoSet  bool
+	workers int
+	stream  bool
+}
+
+// suite enumerates the pinned cases. Workers and naming are fixed here;
+// sizes and ε come from sizes().
+func suite() []spec {
+	var out []spec
+	for _, kind := range []string{"self", "join"} {
+		for _, d := range []int{8, 16} {
+			for _, par := range []string{"serial", "parallel"} {
+				for _, mode := range []string{"collect", "stream"} {
+					workers := 1
+					if par == "parallel" {
+						// Floor of 2 so the parallel code path runs even
+						// on a single-CPU machine.
+						workers = runtime.NumCPU()
+						if workers < 2 {
+							workers = 2
+						}
+					}
+					out = append(out, spec{
+						name:    fmt.Sprintf("%s/d%d/%s/%s", kind, d, par, mode),
+						dims:    d,
+						twoSet:  kind == "join",
+						workers: workers,
+						stream:  mode == "stream",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sizes returns the point counts and ε for one dimensionality. ε grows
+// with √d so the selectivity — and therefore the output volume being
+// measured — stays comparable across the suite.
+func sizes(dims int, quick bool) (nSelf, nA, nB int, eps float64) {
+	nSelf, nA, nB = 4000, 3000, 2000
+	if quick {
+		nSelf, nA, nB = 800, 600, 400
+	}
+	eps = 0.15
+	if dims == 16 {
+		eps = 0.22
+	}
+	return
+}
+
+// run measures one spec with testing.Benchmark and returns its Case.
+func run(sp spec, quick bool) (Case, error) {
+	nSelf, nA, nB, eps := sizes(sp.dims, quick)
+	var ds, da, db *simjoin.Dataset
+	var err error
+	if sp.twoSet {
+		// One seed for both sides: the sets share cluster centers (two
+		// samples of one distribution), so the join has real output. A
+		// second seed would scatter the clusters into disjoint regions
+		// and benchmark an empty join.
+		if da, err = simjoin.Synthetic("clustered", nA, sp.dims, 11); err != nil {
+			return Case{}, err
+		}
+		if db, err = simjoin.Synthetic("clustered", nB, sp.dims, 11); err != nil {
+			return Case{}, err
+		}
+	} else {
+		if ds, err = simjoin.Synthetic("clustered", nSelf, sp.dims, 10); err != nil {
+			return Case{}, err
+		}
+	}
+	var js simjoin.JoinStats
+	opt := simjoin.Options{Eps: eps, Workers: sp.workers, Stats: &js}
+	var runErr error
+	one := func() {
+		switch {
+		case sp.twoSet && sp.stream:
+			_, runErr = simjoin.JoinEach(da, db, opt, func(i, j int) {})
+		case sp.twoSet:
+			_, runErr = simjoin.Join(da, db, opt)
+		case sp.stream:
+			_, runErr = simjoin.SelfJoinEach(ds, opt, func(i, j int) {})
+		default:
+			_, runErr = simjoin.SelfJoin(ds, opt)
+		}
+	}
+	one() // warm-up, and the JoinStats snapshot the report carries
+	if runErr != nil {
+		return Case{}, fmt.Errorf("%s: %w", sp.name, runErr)
+	}
+	snapshot := js
+	if snapshot.PairsEmitted == 0 {
+		return Case{}, fmt.Errorf("%s: degenerate benchmark, no pairs at eps %g", sp.name, eps)
+	}
+	// Best of three runs: scheduler and frequency noise only ever slows a
+	// run down, so the minimum is the most reproducible estimate and
+	// keeps the regression gate's threshold meaningful on busy machines.
+	var r testing.BenchmarkResult
+	best := math.Inf(1)
+	for rep := 0; rep < benchRepeats; rep++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				one()
+			}
+		})
+		if ns := float64(res.T.Nanoseconds()) / float64(res.N); ns < best {
+			best, r = ns, res
+		}
+	}
+	if runErr != nil {
+		return Case{}, fmt.Errorf("%s: %w", sp.name, runErr)
+	}
+	return Case{
+		Name:        sp.name,
+		Iterations:  r.N,
+		NsPerOp:     best,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Pairs:       snapshot.PairsEmitted,
+		DistComps:   snapshot.DistComps,
+		BuildNs:     snapshot.BuildTime.Nanoseconds(),
+		ProbeNs:     snapshot.ProbeTime.Nanoseconds(),
+	}, nil
+}
+
+// compare gates next against base: any case whose ns/op grew by more
+// than threshold (fraction, e.g. 0.2 = +20%) is a regression. It returns
+// the number of regressions after printing a per-case table.
+func compare(base, next *Report, threshold float64) int {
+	if base.Quick != next.Quick {
+		fmt.Fprintf(os.Stderr, "simjoinbench: refusing to compare quick=%v against quick=%v — rerun with matching modes\n", next.Quick, base.Quick)
+		return 1
+	}
+	baseBy := make(map[string]Case, len(base.Cases))
+	for _, c := range base.Cases {
+		baseBy[c.Name] = c
+	}
+	regressions := 0
+	for _, c := range next.Cases {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			fmt.Printf("%-28s NEW        %12.0f ns/op\n", c.Name, c.NsPerOp)
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if ratio > 1+threshold {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-28s %-10s %12.0f → %12.0f ns/op  (%+.1f%%)\n",
+			c.Name, verdict, b.NsPerOp, c.NsPerOp, (ratio-1)*100)
+		delete(baseBy, c.Name)
+	}
+	for name := range baseBy {
+		fmt.Printf("%-28s MISSING — baseline case not measured\n", name)
+		regressions++
+	}
+	return regressions
+}
+
+func readReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "small inputs for CI: same suite, ~10x faster")
+		out       = flag.String("out", "", "write the JSON report here (default BENCH_<date>.json; \"-\" for stdout)")
+		baseline  = flag.String("baseline", "", "compare the fresh run against this report and exit 1 on regression")
+		threshold = flag.Float64("threshold", 0.20, "allowed ns/op growth before a case counts as regressed")
+		comp      = flag.Bool("compare", false, "compare two existing reports (old new) instead of running")
+	)
+	flag.Parse()
+
+	if *comp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "simjoinbench: -compare wants exactly two report paths (old new)")
+			os.Exit(2)
+		}
+		old, err := readReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simjoinbench:", err)
+			os.Exit(2)
+		}
+		next, err := readReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simjoinbench:", err)
+			os.Exit(2)
+		}
+		if n := compare(old, next, *threshold); n > 0 {
+			fmt.Fprintf(os.Stderr, "simjoinbench: %d regression(s) beyond +%.0f%%\n", n, *threshold*100)
+			os.Exit(1)
+		}
+		return
+	}
+
+	report := &Report{
+		Schema: Schema,
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		Go:     runtime.Version(),
+		CPUs:   runtime.NumCPU(),
+		Quick:  *quick,
+	}
+	for _, sp := range suite() {
+		c, err := run(sp, *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simjoinbench:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("%-28s %12.0f ns/op  %8d allocs/op  %10d pairs\n", c.Name, c.NsPerOp, c.AllocsPerOp, c.Pairs)
+		report.Cases = append(report.Cases, c)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	raw, _ := json.MarshalIndent(report, "", "  ")
+	raw = append(raw, '\n')
+	if path == "-" {
+		os.Stdout.Write(raw)
+	} else if err := os.WriteFile(path, raw, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "simjoinbench:", err)
+		os.Exit(2)
+	} else {
+		fmt.Println("wrote", path)
+	}
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simjoinbench:", err)
+			os.Exit(2)
+		}
+		if n := compare(base, report, *threshold); n > 0 {
+			fmt.Fprintf(os.Stderr, "simjoinbench: %d regression(s) beyond +%.0f%%\n", n, *threshold*100)
+			os.Exit(1)
+		}
+	}
+}

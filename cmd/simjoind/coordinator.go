@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"simjoin/internal/cluster"
+	"simjoin/internal/obsv"
 )
 
 // coordServer is the HTTP face of coordinator mode: the worker REST API,
@@ -20,10 +22,48 @@ import (
 type coordServer struct {
 	c *cluster.Coordinator
 	m *metrics
+	// fanout observes the wall time of each scatter-gather operation
+	// across the fleet, labeled by operation.
+	fanout *obsv.HistogramVec
+	// debug additionally mounts net/http/pprof under /debug/pprof/.
+	debug bool
 }
 
 func newCoordServer(c *cluster.Coordinator) *coordServer {
-	return &coordServer{c: c, m: newMetrics()}
+	m := newMetrics()
+	s := &coordServer{c: c, m: m}
+	s.fanout = m.reg.NewHistogramVec("simjoind_fanout_duration_seconds",
+		"Scatter-gather fan-out latency across the worker fleet by operation.", "op", obsv.LatencyBuckets())
+	// Health of every worker, probed at scrape time: 1 up, 0 down.
+	m.reg.NewGaugeVecFunc("simjoind_worker_up",
+		"Per-worker health as seen by the coordinator (1 = up).", "worker",
+		func() map[string]float64 {
+			ctx, cancel := context.WithTimeout(context.Background(), healthProbeTimeout)
+			defer cancel()
+			out := make(map[string]float64, len(c.Workers()))
+			for _, wh := range c.Health(ctx) {
+				v := 0.0
+				if wh.OK {
+					v = 1
+				}
+				out[wh.URL] = v
+			}
+			return out
+		})
+	// The scatter client's retry tally — rising values mean a flaky fleet.
+	m.reg.NewCounterFunc("simjoind_rclient_retries_total",
+		"HTTP retry attempts the coordinator's scatter client has made.",
+		c.Client().Retries)
+	return s
+}
+
+// healthProbeTimeout bounds the worker health sweep a /metrics scrape
+// triggers.
+const healthProbeTimeout = 2 * time.Second
+
+// observeFanout charges op's scatter wall time to the fan-out histogram.
+func (s *coordServer) observeFanout(op string, start time.Time) {
+	s.fanout.With(op).Observe(time.Since(start).Seconds())
 }
 
 // handler wires up the coordinator routes with the same metrics
@@ -42,7 +82,11 @@ func (s *coordServer) handler() http.Handler {
 	handle("POST /datasets/{name}/knn", s.handleKNN)
 	handle("POST /datasets/{name}/points", unsupported("appending points"))
 	handle("POST /join", unsupported("two-set joins"))
-	mux.HandleFunc("GET /debug/vars", s.m.handler)
+	mux.Handle("GET /metrics", s.m.promHandler())
+	mux.HandleFunc("GET /debug/vars", s.m.varsHandler)
+	if s.debug {
+		mountPprof(mux)
+	}
 	return mux
 }
 
@@ -111,6 +155,7 @@ func (s *coordServer) handlePut(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer s.observeFanout("upload", time.Now())
 	info, err := s.c.Upload(r.Context(), name, pts, margin)
 	if err != nil {
 		coordError(w, err)
@@ -156,6 +201,7 @@ func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	res, err := s.c.SelfJoin(r.Context(), r.PathValue("name"), q)
+	s.observeFanout("selfjoin", start)
 	if err != nil {
 		coordError(w, err)
 		return
@@ -183,6 +229,7 @@ func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 // end to end, no full pair set is buffered anywhere. The closing summary
 // object carries the cluster degradation fields.
 func (s *coordServer) streamSelfJoin(w http.ResponseWriter, r *http.Request, p joinParams, q cluster.JoinQuery) {
+	s.m.streamRequests.With("POST /datasets/{name}/selfjoin").Inc()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	bw := bufio.NewWriter(w)
 	flusher, _ := w.(http.Flusher)
@@ -201,12 +248,14 @@ func (s *coordServer) streamSelfJoin(w http.ResponseWriter, r *http.Request, p j
 			}
 		}
 	})
+	s.observeFanout("selfjoin", start)
 	if err != nil {
 		// SelfJoinEach fails before delivering any pair (validation, or
 		// every shard down), so a plain error answer is still possible.
 		coordError(w, err)
 		return
 	}
+	s.m.streamPairs.Add(sent)
 	summary := map[string]any{
 		"total":         res.Pairs,
 		"truncated":     p.MaxPairs > 0 && res.Pairs > int64(p.MaxPairs),
@@ -227,6 +276,7 @@ func (s *coordServer) handleRange(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
+	defer s.observeFanout("range", time.Now())
 	res, err := s.c.Range(r.Context(), r.PathValue("name"), q.Point, q.Radius, q.Metric)
 	if err != nil {
 		coordError(w, err)
@@ -250,6 +300,7 @@ func (s *coordServer) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
+	defer s.observeFanout("knn", time.Now())
 	res, err := s.c.KNN(r.Context(), r.PathValue("name"), q.Point, q.K, q.Metric)
 	if err != nil {
 		coordError(w, err)

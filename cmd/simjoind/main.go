@@ -14,7 +14,11 @@
 //	POST   /datasets/{name}/knn       {"point":[…],"k":5}
 //	POST   /join                      {"a":"x","b":"y","eps":0.1}
 //	GET    /healthz                   liveness + dataset count
-//	GET    /debug/vars                per-route request/error counters
+//	GET    /metrics                   Prometheus text: per-route counters + latency histograms
+//	GET    /debug/vars                per-route request/error counters (legacy JSON)
+//
+// -debug additionally mounts net/http/pprof under /debug/pprof/ in
+// either mode.
 //
 // Coordinator mode fronts a fleet of workers and serves the same API by
 // scatter-gather, sharding each upload across the fleet with ε-boundary
@@ -57,6 +61,7 @@ func main() {
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.String("workers", "", "comma-separated worker base URLs; enables coordinator mode")
 		margin  = flag.Float64("margin", cluster.DefaultMargin, "coordinator: ε-boundary replication width for uploads (max exact self-join eps)")
+		debug   = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 		loads   loadFlags
 	)
 	flag.Var(&loads, "load", "preload a dataset: name=path (repeatable; worker mode only)")
@@ -68,10 +73,13 @@ func main() {
 			log.Fatal("simjoind: -load is not supported in coordinator mode; load data on the workers or upload through the coordinator")
 		}
 		urls := parseWorkers(*workers)
-		h = newCoordServer(cluster.New(urls, *margin, nil)).handler()
+		cs := newCoordServer(cluster.New(urls, *margin, nil))
+		cs.debug = *debug
+		h = cs.handler()
 		fmt.Printf("simjoind coordinating %d workers on %s (margin %g)\n", len(urls), *addr, *margin)
 	} else {
 		srv := newServer()
+		srv.debug = *debug
 		for _, spec := range loads {
 			name, path, ok := strings.Cut(spec, "=")
 			if !ok {

@@ -1,26 +1,44 @@
 package main
 
 import (
-	"expvar"
-	"fmt"
+	"encoding/json"
 	"net/http"
+	"time"
+
+	"simjoin/internal/obsv"
 )
 
-// metrics tracks per-route request and error counts with expvar types,
-// served at GET /debug/vars. Each server instance owns its own maps
-// rather than publishing into the process-global expvar registry, so
-// tests (and a worker + coordinator sharing one process) can run many
-// servers without duplicate-name panics.
+// metrics is the server's observability surface: per-route request and
+// error counters, a per-route latency histogram, and dedicated streaming
+// counters (NDJSON responses bypass response buffering, so their pair
+// volume is only visible here). Served two ways: Prometheus text at
+// GET /metrics, and the legacy /debug/vars JSON shape kept for existing
+// scrapers. Each server instance owns its own registry rather than a
+// process global, so tests (and a worker + coordinator sharing one
+// process) can run many servers without duplicate-name collisions.
 type metrics struct {
-	requests expvar.Map
-	errors   expvar.Map
+	reg      *obsv.Registry
+	requests *obsv.CounterVec
+	errors   *obsv.CounterVec
+	latency  *obsv.HistogramVec
+
+	// streamRequests counts requests answered as NDJSON streams and
+	// streamPairs the pair lines they emitted — the volume that never
+	// shows up in response-size accounting.
+	streamRequests *obsv.CounterVec
+	streamPairs    *obsv.Counter
 }
 
 func newMetrics() *metrics {
-	m := &metrics{}
-	m.requests.Init()
-	m.errors.Init()
-	return m
+	reg := obsv.NewRegistry()
+	return &metrics{
+		reg:            reg,
+		requests:       reg.NewCounterVec("simjoind_requests_total", "HTTP requests by route.", "route"),
+		errors:         reg.NewCounterVec("simjoind_errors_total", "HTTP responses with status >= 400 by route.", "route"),
+		latency:        reg.NewHistogramVec("simjoind_request_duration_seconds", "HTTP request latency by route.", "route", obsv.LatencyBuckets()),
+		streamRequests: reg.NewCounterVec("simjoind_stream_requests_total", "Requests answered as NDJSON streams by route.", "route"),
+		streamPairs:    reg.NewCounter("simjoind_stream_pairs_total", "Pair lines emitted over NDJSON streams."),
+	}
 }
 
 // statusWriter records the status code so error responses can be counted.
@@ -34,20 +52,39 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// wrap counts every request, and every ≥ 400 response, under key.
+// Flush forwards to the wrapped writer so NDJSON streaming keeps working
+// through the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// wrap counts every request and every ≥ 400 response under key, and
+// observes the handler's wall time in the route's latency histogram.
 func (m *metrics) wrap(key string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		m.requests.Add(key, 1)
+		m.requests.With(key).Inc()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
 		h(sw, r)
+		m.latency.With(key).Observe(time.Since(start).Seconds())
 		if sw.status >= 400 {
-			m.errors.Add(key, 1)
+			m.errors.With(key).Inc()
 		}
 	}
 }
 
-// handler serves the counters; expvar.Map values render as JSON objects.
-func (m *metrics) handler(w http.ResponseWriter, r *http.Request) {
+// promHandler serves the registry as Prometheus text exposition.
+func (m *metrics) promHandler() http.Handler { return m.reg.Handler() }
+
+// varsHandler serves the legacy /debug/vars JSON shape — per-route
+// request and error counts — from the same counters /metrics exposes.
+func (m *metrics) varsHandler(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"requests\":%s,\"errors\":%s}\n", m.requests.String(), m.errors.String())
+	out := map[string]map[string]int64{
+		"requests": m.requests.Snapshot(),
+		"errors":   m.errors.Snapshot(),
+	}
+	_ = json.NewEncoder(w).Encode(out)
 }

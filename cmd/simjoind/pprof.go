@@ -1,0 +1,18 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// mountPprof exposes the net/http/pprof handlers on mux under
+// /debug/pprof/, for servers started with -debug. The explicit wiring
+// (rather than the package's DefaultServeMux side effect) keeps profiling
+// off every server that did not opt in.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

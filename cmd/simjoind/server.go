@@ -23,6 +23,8 @@ type server struct {
 	mu   sync.RWMutex
 	sets map[string]*entry
 	m    *metrics
+	// debug additionally mounts net/http/pprof under /debug/pprof/.
+	debug bool
 }
 
 // entry is one registered dataset plus its lazily built query index.
@@ -79,8 +81,9 @@ func newServer() *server {
 	return &server{sets: make(map[string]*entry), m: newMetrics()}
 }
 
-// handler wires up the routes, each wrapped in the request/error
-// counters served at /debug/vars.
+// handler wires up the routes, each wrapped in the request/error/latency
+// middleware behind GET /metrics (Prometheus text) and the legacy
+// GET /debug/vars JSON.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
@@ -95,7 +98,11 @@ func (s *server) handler() http.Handler {
 	handle("POST /datasets/{name}/range", s.handleRange)
 	handle("POST /datasets/{name}/knn", s.handleKNN)
 	handle("POST /join", s.handleJoin)
-	mux.HandleFunc("GET /debug/vars", s.m.handler)
+	mux.Handle("GET /metrics", s.m.promHandler())
+	mux.HandleFunc("GET /debug/vars", s.m.varsHandler)
+	if s.debug {
+		mountPprof(mux)
+	}
 	return mux
 }
 
@@ -292,11 +299,13 @@ const streamFlushEvery = 1024
 
 // streamPairs answers a join request as NDJSON — one [i,j] line per pair
 // the moment the join finds it, closed by a summary object — so neither
-// the server nor the client ever holds the full pair set. each runs the
-// streaming join with the provided emit callback; its only possible
-// errors are validation errors raised before the first pair, so they can
-// still be answered with a plain HTTP error.
-func streamPairs(w http.ResponseWriter, maxPairs int, each func(emit func(i, j int)) (simjoin.Stats, error)) {
+// the server nor the client ever holds the full pair set. The route's
+// stream counters are charged here, where the pair volume is visible.
+// each runs the streaming join with the provided emit callback; its only
+// possible errors are validation errors raised before the first pair, so
+// they can still be answered with a plain HTTP error.
+func streamPairs(w http.ResponseWriter, m *metrics, route string, maxPairs int, each func(emit func(i, j int)) (simjoin.Stats, error)) {
+	m.streamRequests.With(route).Inc()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	bw := bufio.NewWriter(w)
 	flusher, _ := w.(http.Flusher)
@@ -319,6 +328,7 @@ func streamPairs(w http.ResponseWriter, maxPairs int, each func(emit func(i, j i
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	m.streamPairs.Add(sent)
 	summary := map[string]any{
 		"total":      st.Results,
 		"truncated":  maxPairs > 0 && st.Results > int64(maxPairs),
@@ -347,7 +357,7 @@ func (s *server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if p.Stream {
-		streamPairs(w, p.MaxPairs, func(emit func(i, j int)) (simjoin.Stats, error) {
+		streamPairs(w, s.m, "POST /datasets/{name}/selfjoin", p.MaxPairs, func(emit func(i, j int)) (simjoin.Stats, error) {
 			return simjoin.SelfJoinEach(e.dataset(), opt, emit)
 		})
 		return
@@ -394,7 +404,7 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Stream {
-		streamPairs(w, req.MaxPairs, func(emit func(i, j int)) (simjoin.Stats, error) {
+		streamPairs(w, s.m, "POST /join", req.MaxPairs, func(emit func(i, j int)) (simjoin.Stats, error) {
 			return simjoin.JoinEach(da, db, opt, emit)
 		})
 		return

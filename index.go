@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"simjoin/internal/core"
+	"simjoin/internal/obsv"
 	"simjoin/internal/pairs"
 	"simjoin/internal/stats"
 )
@@ -47,7 +48,8 @@ func (x *Index) SelfJoin(opt Options) (*Result, error) {
 		return nil, fmt.Errorf("simjoin: query eps %g exceeds index eps %g; rebuild with a larger threshold", opt.Eps, x.eps)
 	}
 	var counters stats.Counters
-	iopt := opt.toInternal(&counters)
+	var phases obsv.Phases
+	iopt := opt.toInternal(&counters, &phases)
 	watch := stats.Start()
 	var collected []pairs.Pair
 	if opt.Workers > 1 {
@@ -59,7 +61,10 @@ func (x *Index) SelfJoin(opt Options) (*Result, error) {
 		x.t.SelfJoin(iopt, col)
 		collected = col.Sorted()
 	}
-	return buildResult(collected, counters.Snapshot(), watch.Elapsed(), opt), nil
+	elapsed := watch.Elapsed()
+	snap := counters.Snapshot()
+	opt.fillStats(AlgorithmEKDB, snap, &phases, int64(len(collected)), elapsed)
+	return buildResult(collected, snap, elapsed, opt), nil
 }
 
 // SelfJoinEach streams every qualifying unordered pair (delivered with
@@ -76,7 +81,8 @@ func (x *Index) SelfJoinEach(opt Options, fn func(i, j int)) (Stats, error) {
 		return Stats{}, fmt.Errorf("simjoin: query eps %g exceeds index eps %g; rebuild with a larger threshold", opt.Eps, x.eps)
 	}
 	var counters stats.Counters
-	iopt := opt.toInternal(&counters)
+	var phases obsv.Phases
+	iopt := opt.toInternal(&counters, &phases)
 	watch := stats.Start()
 	var n int64
 	deliver := func(i, j int) {
@@ -93,7 +99,10 @@ func (x *Index) SelfJoinEach(opt Options, fn func(i, j int)) (Stats, error) {
 	} else {
 		x.t.SelfJoin(iopt, pairs.Func(deliver))
 	}
-	return eachStats(n, counters.Snapshot(), watch.Elapsed()), nil
+	elapsed := watch.Elapsed()
+	snap := counters.Snapshot()
+	opt.fillStats(AlgorithmEKDB, snap, &phases, n, elapsed)
+	return eachStats(n, snap, elapsed), nil
 }
 
 // Range returns the indexes of every point within radius (≤ the index's ε)

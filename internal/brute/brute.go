@@ -5,6 +5,8 @@
 package brute
 
 import (
+	"time"
+
 	"simjoin/internal/dataset"
 	"simjoin/internal/join"
 	"simjoin/internal/pairs"
@@ -17,6 +19,8 @@ func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	opt.MustValidate()
 	c := opt.Stats()
 	t := opt.Threshold()
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	n := ds.Len()
 	var cand, comps, res int64
 	for i := 0; i < n; i++ {
@@ -40,6 +44,8 @@ func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	opt.MustValidate()
 	c := opt.Stats()
 	t := opt.Threshold()
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	na, nb := a.Len(), b.Len()
 	var cand, comps, res int64
 	for i := 0; i < na; i++ {

@@ -56,6 +56,10 @@ func (c *Coordinator) Workers() []string { return c.workers }
 // Margin returns the default boundary-replication width.
 func (c *Coordinator) Margin() float64 { return c.margin }
 
+// Client returns the resilient HTTP client the coordinator scatters
+// with, exposing its retry counter to observability layers.
+func (c *Coordinator) Client() *rclient.Client { return c.rc }
+
 // NotFoundError reports a query against an unknown dataset.
 type NotFoundError struct{ Name string }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"simjoin/internal/dataset"
 	"simjoin/internal/join"
@@ -18,7 +19,9 @@ func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	if ds.Len() < 2 {
 		return
 	}
+	start := time.Now()
 	t := Build(ds, opt.Eps, Config{})
+	opt.Timing().AddBuild(time.Since(start))
 	t.SelfJoin(opt, sink)
 }
 
@@ -29,10 +32,12 @@ func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	if a.Len() == 0 || b.Len() == 0 {
 		return
 	}
+	start := time.Now()
 	box := a.Bounds()
 	box.ExtendBox(b.Bounds())
 	ta := BuildWithBox(a, opt.Eps, box, Config{})
 	tb := BuildWithBox(b, opt.Eps, box, Config{})
+	opt.Timing().AddBuild(time.Since(start))
 	JoinTrees(ta, tb, opt, sink)
 }
 
@@ -45,10 +50,12 @@ func JoinParallel(a, b *dataset.Dataset, opt join.Options, newSink func() pairs.
 	if a.Len() == 0 || b.Len() == 0 {
 		return
 	}
+	start := time.Now()
 	box := a.Bounds()
 	box.ExtendBox(b.Bounds())
 	ta := BuildWithBox(a, opt.Eps, box, Config{})
 	tb := BuildWithBox(b, opt.Eps, box, Config{})
+	opt.Timing().AddBuild(time.Since(start))
 	JoinTreesParallel(ta, tb, opt, newSink)
 }
 
@@ -65,6 +72,8 @@ func (t *Tree) SelfJoin(opt join.Options, sink pairs.Sink) {
 	if t.root == nil {
 		return
 	}
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	j := t.newJoiner(opt, sink)
 	j.selfNode(t.root, 0)
 	j.flush(opt)
@@ -84,6 +93,8 @@ func JoinTrees(ta, tb *Tree, opt join.Options, sink pairs.Sink) {
 	if ta.root == nil || tb.root == nil {
 		return
 	}
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	j := ta.newJoiner(opt, sink)
 	j.dsB = tb.ds
 	j.crossNodes(ta.root, tb.root, 0, false)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"simjoin/internal/join"
 	"simjoin/internal/pairs"
@@ -24,6 +25,8 @@ func (t *Tree) SelfJoinParallel(opt join.Options, newSink func() pairs.Sink) {
 	if t.root == nil {
 		return
 	}
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	if t.root.leaf() {
 		j := t.newJoiner(opt, newSink())
 		j.selfNode(t.root, 0)
@@ -87,6 +90,8 @@ func JoinTreesParallel(ta, tb *Tree, opt join.Options, newSink func() pairs.Sink
 	if ta.root == nil || tb.root == nil {
 		return
 	}
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	newCrossJoiner := func(sink pairs.Sink) *joiner {
 		j := ta.newJoiner(opt, sink)
 		j.dsB = tb.ds

@@ -11,6 +11,7 @@ package grid
 
 import (
 	"sort"
+	"time"
 
 	"simjoin/internal/dataset"
 	"simjoin/internal/join"
@@ -115,9 +116,13 @@ func SelfJoinConfig(ds *dataset.Dataset, opt join.Options, cfg Config, sink pair
 	}
 	c := opt.Stats()
 	t := opt.Threshold()
+	start := time.Now()
 	ix := build(ds, opt.Eps, ds.Bounds(), cfg)
 	g := len(ix.gridded)
 	offsets := positiveOffsets(g)
+	opt.Timing().AddBuild(time.Since(start))
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	var cand, res int64
 	nb := make([]int32, g)
 	keyBuf := make([]byte, 0, 4*g)
@@ -175,11 +180,15 @@ func JoinConfig(a, b *dataset.Dataset, opt join.Options, cfg Config, sink pairs.
 	}
 	c := opt.Stats()
 	t := opt.Threshold()
+	start := time.Now()
 	box := a.Bounds()
 	box.ExtendBox(b.Bounds())
 	ix := build(b, opt.Eps, box, cfg)
 	g := len(ix.gridded)
 	offsets := allOffsets(g)
+	opt.Timing().AddBuild(time.Since(start))
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	var cand, res int64
 	coords := make([]int32, g)
 	nb := make([]int32, g)

@@ -2,6 +2,7 @@ package grid
 
 import (
 	"sync"
+	"time"
 
 	"simjoin/internal/dataset"
 	"simjoin/internal/join"
@@ -29,11 +30,15 @@ func JoinParallel(a, b *dataset.Dataset, opt join.Options, cfg Config, newSink f
 	}
 	c := opt.Stats()
 	t := opt.Threshold()
+	start := time.Now()
 	box := a.Bounds()
 	box.ExtendBox(b.Bounds())
 	ix := build(b, opt.Eps, box, cfg)
 	g := len(ix.gridded)
 	offsets := allOffsets(g)
+	opt.Timing().AddBuild(time.Since(start))
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	workers := opt.WorkerCount()
 	if workers > a.Len() {
 		workers = a.Len()
@@ -83,9 +88,13 @@ func SelfJoinParallel(ds *dataset.Dataset, opt join.Options, cfg Config, newSink
 	}
 	c := opt.Stats()
 	t := opt.Threshold()
+	start := time.Now()
 	ix := build(ds, opt.Eps, ds.Bounds(), cfg)
 	g := len(ix.gridded)
 	offsets := positiveOffsets(g)
+	opt.Timing().AddBuild(time.Since(start))
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 
 	keys := make([]string, 0, len(ix.cells))
 	for key := range ix.cells {

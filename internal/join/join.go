@@ -13,6 +13,7 @@ import (
 	"math"
 	"runtime"
 
+	"simjoin/internal/obsv"
 	"simjoin/internal/stats"
 	"simjoin/internal/vec"
 )
@@ -27,6 +28,11 @@ type Options struct {
 	// Counters, if non-nil, receives work metrics (distance computations,
 	// candidates, node visits). Algorithms never require it.
 	Counters *stats.Counters
+	// Phases, if non-nil, receives per-phase wall time: every algorithm
+	// charges its index-construction cost to the build phase and its
+	// candidate-enumeration cost to the probe phase, each exactly once
+	// per entry point. Algorithms never require it.
+	Phases *obsv.Phases
 	// Workers bounds the goroutines used by parallel variants; ≤ 0 selects
 	// GOMAXPROCS. Serial algorithms ignore it.
 	Workers int
@@ -62,6 +68,18 @@ func (o Options) Stats() *stats.Counters {
 
 // discard swallows counter traffic for uninstrumented runs.
 var discard stats.Counters
+
+// Timing returns the phase recorder, substituting a shared no-op sink
+// when nil so algorithms can charge unconditionally.
+func (o Options) Timing() *obsv.Phases {
+	if o.Phases != nil {
+		return o.Phases
+	}
+	return &discardPhases
+}
+
+// discardPhases swallows phase timings for uninstrumented runs.
+var discardPhases obsv.Phases
 
 // WorkerCount resolves Workers to a concrete positive goroutine count.
 func (o Options) WorkerCount() int {

@@ -9,6 +9,7 @@ package kdtree
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fmt"
 
@@ -207,13 +208,17 @@ func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	if ds.Len() < 2 {
 		return
 	}
+	start := time.Now()
 	t := Build(ds, 0)
+	opt.Timing().AddBuild(time.Since(start))
 	t.SelfJoin(opt, sink)
 }
 
 // SelfJoin runs the self-join on an already-built tree.
 func (t *Tree) SelfJoin(opt join.Options, sink pairs.Sink) {
 	opt.MustValidate()
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	c := opt.Counters
 	var res int64
 	for i := 0; i < t.ds.Len(); i++ {
@@ -238,6 +243,8 @@ func (t *Tree) SelfJoinParallel(opt join.Options, newSink func() pairs.Sink) {
 	if n < 2 {
 		return
 	}
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	workers := opt.WorkerCount()
 	if workers > n {
 		workers = n
@@ -273,7 +280,11 @@ func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	if a.Len() == 0 || b.Len() == 0 {
 		return
 	}
+	start := time.Now()
 	t := Build(b, 0)
+	opt.Timing().AddBuild(time.Since(start))
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	c := opt.Counters
 	var res int64
 	for i := 0; i < a.Len(); i++ {
@@ -295,7 +306,11 @@ func JoinParallel(a, b *dataset.Dataset, opt join.Options, newSink func() pairs.
 	if a.Len() == 0 || b.Len() == 0 {
 		return
 	}
+	start := time.Now()
 	t := Build(b, 0)
+	opt.Timing().AddBuild(time.Since(start))
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	workers := opt.WorkerCount()
 	if workers > a.Len() {
 		workers = a.Len()

@@ -21,6 +21,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,7 +55,15 @@ type Client struct {
 	// retries. Only set this when every POST the client issues is a
 	// read-only query (true for the cluster coordinator).
 	RetryPOST bool
+
+	// retries counts retry attempts (not first attempts) across the
+	// client's lifetime, for observability.
+	retries atomic.Int64
 }
+
+// Retries returns the total number of retry attempts the client has made
+// (first attempts are not counted). Safe for concurrent use.
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 // New returns a Client with the package defaults.
 func New() *Client { return &Client{} }
@@ -178,6 +187,7 @@ func (c *Client) Do(ctx context.Context, req *http.Request) (*http.Response, err
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			c.retries.Add(1)
 			delay := Backoff(attempt, c.baseDelay(), c.maxDelay())
 			t := time.NewTimer(delay)
 			select {

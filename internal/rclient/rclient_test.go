@@ -26,7 +26,8 @@ func TestFlakyBackendRecovers(t *testing.T) {
 	ts := rclienttest.New(rclienttest.Config{FailFirst: 2, Body: "recovered"})
 	defer ts.Close()
 
-	resp, err := fastClient().Get(context.Background(), ts.URL)
+	c := fastClient()
+	resp, err := c.Get(context.Background(), ts.URL)
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}
@@ -37,6 +38,9 @@ func TestFlakyBackendRecovers(t *testing.T) {
 	}
 	if got := ts.Calls(); got != 3 {
 		t.Fatalf("server saw %d calls, want 3 (2 failures + 1 success)", got)
+	}
+	if got := c.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
 	}
 }
 

@@ -16,6 +16,7 @@ package rplus
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"simjoin/internal/dataset"
 	"simjoin/internal/join"
@@ -191,12 +192,17 @@ func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	if ds.Len() < 2 {
 		return
 	}
-	Build(ds, 0, 0).SelfJoin(opt, sink)
+	start := time.Now()
+	t := Build(ds, 0, 0)
+	opt.Timing().AddBuild(time.Since(start))
+	t.SelfJoin(opt, sink)
 }
 
 // SelfJoin runs the synchronized-traversal self-join on a built tree.
 func (t *Tree) SelfJoin(opt join.Options, sink pairs.Sink) {
 	opt.MustValidate()
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	c := opt.Stats()
 	th := opt.Threshold()
 	var cand, res, visits int64
@@ -266,14 +272,18 @@ func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	if a.Len() == 0 || b.Len() == 0 {
 		return
 	}
+	start := time.Now()
 	ta := Build(a, 0, 0)
 	tb := Build(b, 0, 0)
+	opt.Timing().AddBuild(time.Since(start))
 	JoinTrees(ta, tb, opt, sink)
 }
 
 // JoinTrees runs the synchronized-traversal join over two built trees.
 func JoinTrees(ta, tb *Tree, opt join.Options, sink pairs.Sink) {
 	opt.MustValidate()
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	c := opt.Stats()
 	th := opt.Threshold()
 	var cand, res, visits int64

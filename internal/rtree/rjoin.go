@@ -1,6 +1,8 @@
 package rtree
 
 import (
+	"time"
+
 	"simjoin/internal/dataset"
 	"simjoin/internal/join"
 	"simjoin/internal/pairs"
@@ -14,7 +16,9 @@ func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	if ds.Len() < 2 {
 		return
 	}
+	start := time.Now()
 	t := BulkLoad(ds, 0)
+	opt.Timing().AddBuild(time.Since(start))
 	t.SelfJoin(opt, sink)
 }
 
@@ -23,6 +27,8 @@ func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 // nodes pair their entries without duplication.
 func (t *Tree) SelfJoin(opt join.Options, sink pairs.Sink) {
 	opt.MustValidate()
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	c := opt.Stats()
 	th := opt.Threshold()
 	var cand, res, visits int64
@@ -73,8 +79,10 @@ func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	if a.Len() == 0 || b.Len() == 0 {
 		return
 	}
+	start := time.Now()
 	ta := BulkLoad(a, 0)
 	tb := BulkLoad(b, 0)
+	opt.Timing().AddBuild(time.Since(start))
 	JoinTrees(ta, tb, opt, sink)
 }
 
@@ -86,6 +94,8 @@ func JoinTrees(ta, tb *Tree, opt join.Options, sink pairs.Sink) {
 	if ta.Len() == 0 || tb.Len() == 0 {
 		return
 	}
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	c := opt.Stats()
 	th := opt.Threshold()
 	var cand, res, visits int64

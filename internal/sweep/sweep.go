@@ -9,6 +9,7 @@ package sweep
 
 import (
 	"sort"
+	"time"
 
 	"simjoin/internal/dataset"
 	"simjoin/internal/join"
@@ -34,7 +35,11 @@ func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	opt.MustValidate()
 	c := opt.Stats()
 	t := opt.Threshold()
+	build := time.Now()
 	idx := sortedIndex(ds, 0)
+	opt.Timing().AddBuild(time.Since(build))
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	var cand, res int64
 	for a := 0; a < len(idx); a++ {
 		i := int(idx[a])
@@ -65,8 +70,12 @@ func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	opt.MustValidate()
 	c := opt.Stats()
 	t := opt.Threshold()
+	build := time.Now()
 	ia := sortedIndex(a, 0)
 	ib := sortedIndex(b, 0)
+	opt.Timing().AddBuild(time.Since(build))
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	var cand, res int64
 	lo := 0
 	for _, aiRaw := range ia {

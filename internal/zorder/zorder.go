@@ -12,6 +12,7 @@ package zorder
 
 import (
 	"sort"
+	"time"
 
 	"simjoin/internal/dataset"
 	"simjoin/internal/join"
@@ -150,7 +151,11 @@ func SelfJoinKeyed(ds *dataset.Dataset, opt join.Options, blockSize int, key Key
 	}
 	c := opt.Stats()
 	t := opt.Threshold()
+	start := time.Now()
 	blocks := makeBlocks(ds, ds.Bounds(), blockSize, key)
+	opt.Timing().AddBuild(time.Since(start))
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	var cand, res, visits int64
 	for bi := range blocks {
 		a := &blocks[bi]
@@ -212,10 +217,14 @@ func JoinKeyed(a, b *dataset.Dataset, opt join.Options, blockSize int, key KeyFu
 	}
 	c := opt.Stats()
 	t := opt.Threshold()
+	start := time.Now()
 	box := a.Bounds()
 	box.ExtendBox(b.Bounds())
 	ba := makeBlocks(a, box, blockSize, key)
 	bb := makeBlocks(b, box, blockSize, key)
+	opt.Timing().AddBuild(time.Since(start))
+	probe := time.Now()
+	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	var cand, res, visits int64
 	for i := range ba {
 		for j := range bb {

@@ -13,6 +13,7 @@ import (
 	"simjoin/internal/hilbert"
 	"simjoin/internal/join"
 	"simjoin/internal/kdtree"
+	"simjoin/internal/obsv"
 	"simjoin/internal/pairs"
 	"simjoin/internal/rplus"
 	"simjoin/internal/rtree"
@@ -40,7 +41,10 @@ var registry = map[Algorithm]algorithmImpl{
 		self: kdtree.SelfJoin,
 		join: kdtree.Join,
 		parallelSelf: func(ds *dataset.Dataset, opt join.Options, newSink func() pairs.Sink) {
-			kdtree.Build(ds, 0).SelfJoinParallel(opt, newSink)
+			start := time.Now()
+			t := kdtree.Build(ds, 0)
+			opt.Timing().AddBuild(time.Since(start))
+			t.SelfJoinParallel(opt, newSink)
 		},
 		parallelJoin: kdtree.JoinParallel,
 	},
@@ -71,12 +75,30 @@ func init() {
 }
 
 // toInternal converts public options to the internal contract.
-func (o Options) toInternal(c *stats.Counters) join.Options {
+func (o Options) toInternal(c *stats.Counters, ph *obsv.Phases) join.Options {
 	return join.Options{
 		Metric:   o.Metric.internal(),
 		Eps:      o.Eps,
 		Counters: c,
+		Phases:   ph,
 		Workers:  o.Workers,
+	}
+}
+
+// fillStats overwrites o.Stats (when set) with the run's report.
+func (o Options) fillStats(algo Algorithm, snap stats.Snapshot, ph *obsv.Phases, pairsEmitted int64, elapsed time.Duration) {
+	if o.Stats == nil {
+		return
+	}
+	*o.Stats = JoinStats{
+		Algorithm:    algo,
+		DistComps:    snap.DistComps,
+		Candidates:   snap.Candidates,
+		NodeVisits:   snap.NodeVisits,
+		PairsEmitted: pairsEmitted,
+		BuildTime:    ph.Build(),
+		ProbeTime:    ph.Probe(),
+		Elapsed:      elapsed,
 	}
 }
 
@@ -87,7 +109,8 @@ func SelfJoin(ds *Dataset, opt Options) (*Result, error) {
 		return nil, err
 	}
 	var counters stats.Counters
-	iopt := opt.toInternal(&counters)
+	var phases obsv.Phases
+	iopt := opt.toInternal(&counters, &phases)
 	algo := resolveAlgorithm(ds, opt)
 	impl := registry[algo]
 
@@ -103,7 +126,10 @@ func SelfJoin(ds *Dataset, opt Options) (*Result, error) {
 		default:
 			impl.self(ds.internal(), iopt, &sink)
 		}
-		return countResult(sink.N(), counters.Snapshot(), watch.Elapsed()), nil
+		elapsed := watch.Elapsed()
+		snap := counters.Snapshot()
+		opt.fillStats(algo, snap, &phases, sink.N(), elapsed)
+		return countResult(sink.N(), snap, elapsed), nil
 	}
 	var collected []pairs.Pair
 	switch {
@@ -119,7 +145,9 @@ func SelfJoin(ds *Dataset, opt Options) (*Result, error) {
 		collected = col.Sorted()
 	}
 	elapsed := watch.Elapsed()
-	return buildResult(collected, counters.Snapshot(), elapsed, opt), nil
+	snap := counters.Snapshot()
+	opt.fillStats(algo, snap, &phases, int64(len(collected)), elapsed)
+	return buildResult(collected, snap, elapsed, opt), nil
 }
 
 // runEKDBSelfCounting is runEKDBSelf without pair storage.
@@ -128,7 +156,9 @@ func runEKDBSelfCounting(ds *dataset.Dataset, iopt join.Options, opt Options, si
 		return
 	}
 	cfg := core.Config{LeafThreshold: opt.LeafThreshold, BiasedSplit: opt.BiasedSplit}
+	start := time.Now()
 	t := core.Build(ds, opt.Eps, cfg)
+	iopt.Timing().AddBuild(time.Since(start))
 	if opt.Workers > 1 {
 		t.SelfJoinParallel(iopt, func() pairs.Sink { return sink })
 		return
@@ -153,7 +183,9 @@ func runEKDBSelf(ds *dataset.Dataset, iopt join.Options, opt Options) []pairs.Pa
 		return nil
 	}
 	cfg := core.Config{LeafThreshold: opt.LeafThreshold, BiasedSplit: opt.BiasedSplit}
+	start := time.Now()
 	t := core.Build(ds, opt.Eps, cfg)
+	iopt.Timing().AddBuild(time.Since(start))
 	if opt.Workers > 1 {
 		sh := pairs.NewSharded(true)
 		t.SelfJoinParallel(iopt, sh.Handle)
@@ -176,8 +208,10 @@ func Join(a, b *Dataset, opt Options) (*Result, error) {
 		return nil, err
 	}
 	var counters stats.Counters
-	iopt := opt.toInternal(&counters)
-	impl := registry[resolveJoinAlgorithm(a, b, opt)]
+	var phases obsv.Phases
+	iopt := opt.toInternal(&counters, &phases)
+	algo := resolveJoinAlgorithm(a, b, opt)
+	impl := registry[algo]
 	watch := stats.Start()
 	if !opt.collect() {
 		var sink pairs.Counter
@@ -186,7 +220,10 @@ func Join(a, b *Dataset, opt Options) (*Result, error) {
 		} else {
 			impl.join(a.internal(), b.internal(), iopt, &sink)
 		}
-		return countResult(sink.N(), counters.Snapshot(), watch.Elapsed()), nil
+		elapsed := watch.Elapsed()
+		snap := counters.Snapshot()
+		opt.fillStats(algo, snap, &phases, sink.N(), elapsed)
+		return countResult(sink.N(), snap, elapsed), nil
 	}
 	var collected []pairs.Pair
 	if opt.Workers > 1 && impl.parallelJoin != nil {
@@ -199,7 +236,9 @@ func Join(a, b *Dataset, opt Options) (*Result, error) {
 		collected = col.Sorted()
 	}
 	elapsed := watch.Elapsed()
-	return buildResult(collected, counters.Snapshot(), elapsed, opt), nil
+	snap := counters.Snapshot()
+	opt.fillStats(algo, snap, &phases, int64(len(collected)), elapsed)
+	return buildResult(collected, snap, elapsed, opt), nil
 }
 
 // checkJoinDims rejects two-set inputs of different dimensionality before
@@ -223,7 +262,8 @@ func SelfJoinEach(ds *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
 		return Stats{}, err
 	}
 	var counters stats.Counters
-	iopt := opt.toInternal(&counters)
+	var phases obsv.Phases
+	iopt := opt.toInternal(&counters, &phases)
 	algo := resolveAlgorithm(ds, opt)
 	impl := registry[algo]
 	watch := stats.Start()
@@ -245,7 +285,10 @@ func SelfJoinEach(ds *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
 	default:
 		impl.self(ds.internal(), iopt, pairs.Func(deliver))
 	}
-	return eachStats(n, counters.Snapshot(), watch.Elapsed()), nil
+	elapsed := watch.Elapsed()
+	snap := counters.Snapshot()
+	opt.fillStats(algo, snap, &phases, n, elapsed)
+	return eachStats(n, snap, elapsed), nil
 }
 
 // runEKDBSelfEach is the streaming counterpart of runEKDBSelf: the tree is
@@ -256,7 +299,9 @@ func runEKDBSelfEach(ds *dataset.Dataset, iopt join.Options, opt Options, delive
 		return
 	}
 	cfg := core.Config{LeafThreshold: opt.LeafThreshold, BiasedSplit: opt.BiasedSplit}
+	start := time.Now()
 	t := core.Build(ds, opt.Eps, cfg)
+	iopt.Timing().AddBuild(time.Since(start))
 	if opt.Workers > 1 {
 		f := pairs.NewFunnel(deliver)
 		t.SelfJoinParallel(iopt, f.Handle)
@@ -278,8 +323,10 @@ func JoinEach(a, b *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
 		return Stats{}, err
 	}
 	var counters stats.Counters
-	iopt := opt.toInternal(&counters)
-	impl := registry[resolveJoinAlgorithm(a, b, opt)]
+	var phases obsv.Phases
+	iopt := opt.toInternal(&counters, &phases)
+	algo := resolveJoinAlgorithm(a, b, opt)
+	impl := registry[algo]
 	watch := stats.Start()
 	var n int64
 	deliver := func(i, j int) {
@@ -293,7 +340,10 @@ func JoinEach(a, b *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
 	} else {
 		impl.join(a.internal(), b.internal(), iopt, pairs.Func(deliver))
 	}
-	return eachStats(n, counters.Snapshot(), watch.Elapsed()), nil
+	elapsed := watch.Elapsed()
+	snap := counters.Snapshot()
+	opt.fillStats(algo, snap, &phases, n, elapsed)
+	return eachStats(n, snap, elapsed), nil
 }
 
 // eachStats assembles the Stats of a streaming run.

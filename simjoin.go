@@ -114,6 +114,13 @@ type Options struct {
 	// CollectPairs controls whether Result.Pairs is populated (default
 	// true). Disable for counting-only runs over huge outputs.
 	CollectPairs *bool
+	// Stats, if non-nil, is overwritten with the run's observability
+	// report: work counters charged atomically by the engines (distance
+	// evaluations, candidates, index-node visits, pairs emitted) and the
+	// per-phase wall-time split (index build vs. candidate probing). It
+	// works on every path — collecting, counting-only and streaming — and
+	// costs a handful of atomic adds per run.
+	Stats *JoinStats
 }
 
 func (o Options) collect() bool { return o.CollectPairs == nil || *o.CollectPairs }
@@ -133,6 +140,37 @@ func (o Options) validate() error {
 		}
 	}
 	return nil
+}
+
+// JoinStats is the observability report of one join run, filled in
+// through Options.Stats. It decomposes where the time and the work went:
+// BuildTime covers organizing the data (sort, hash grid, tree
+// construction), ProbeTime covers enumerating and testing candidate
+// pairs — the cost split the performance evaluation attributes across
+// algorithms, dimensionality and ε.
+type JoinStats struct {
+	// Algorithm is the concrete algorithm that ran (Auto and the empty
+	// default are resolved).
+	Algorithm Algorithm
+	// DistComps is the number of (possibly early-exited) distance
+	// evaluations the engines charged.
+	DistComps int64
+	// Candidates is the number of point pairs that reached the distance
+	// test after all filtering.
+	Candidates int64
+	// NodeVisits counts index-node visits for tree/block algorithms.
+	NodeVisits int64
+	// PairsEmitted is the number of result pairs the run produced
+	// (before any response-level truncation).
+	PairsEmitted int64
+	// BuildTime is the wall time spent constructing the join's data
+	// organization. Zero for brute force, which has none.
+	BuildTime time.Duration
+	// ProbeTime is the wall time spent enumerating and testing
+	// candidates against the built organization.
+	ProbeTime time.Duration
+	// Elapsed is the wall-clock time of the whole join.
+	Elapsed time.Duration
 }
 
 // Pair is one join result: point i of the first (or only) set matches

@@ -1,0 +1,210 @@
+package simjoin
+
+import (
+	"math"
+	"testing"
+)
+
+// TestJoinStatsBruteExact pins the brute-force distance-evaluation count:
+// the nested loop tests every unordered pair exactly once, so DistComps
+// must be exactly n(n-1)/2.
+func TestJoinStatsBruteExact(t *testing.T) {
+	const n = 50
+	ds, err := Synthetic("uniform", n, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js JoinStats
+	res, err := SelfJoin(ds, Options{Eps: 0.2, Algorithm: AlgorithmBrute, Stats: &js})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n * (n - 1) / 2); js.DistComps != want {
+		t.Errorf("brute DistComps = %d, want exactly %d", js.DistComps, want)
+	}
+	if js.Algorithm != AlgorithmBrute {
+		t.Errorf("Algorithm = %q, want brute", js.Algorithm)
+	}
+	if js.PairsEmitted != int64(len(res.Pairs)) {
+		t.Errorf("PairsEmitted = %d, want %d", js.PairsEmitted, len(res.Pairs))
+	}
+	if js.BuildTime != 0 {
+		t.Errorf("brute BuildTime = %v, want 0 (no index to build)", js.BuildTime)
+	}
+	if js.ProbeTime <= 0 {
+		t.Errorf("brute ProbeTime = %v, want > 0", js.ProbeTime)
+	}
+	if js.Elapsed <= 0 {
+		t.Error("Elapsed not positive")
+	}
+}
+
+// TestJoinStatsEveryAlgorithm checks that every engine charges the
+// observability hook on both the serial and the parallel path: non-zero
+// distance evaluations, a PairsEmitted count matching the result, and a
+// probe-phase wall time.
+func TestJoinStatsEveryAlgorithm(t *testing.T) {
+	ds, err := Synthetic("clustered", 400, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range Algorithms() {
+		for _, workers := range []int{1, 4} {
+			var js JoinStats
+			res, err := SelfJoin(ds, Options{Eps: 0.1, Algorithm: algo, Workers: workers, Stats: &js})
+			if err != nil {
+				t.Fatalf("%s/w%d: %v", algo, workers, err)
+			}
+			if js.Algorithm != algo {
+				t.Errorf("%s/w%d: Algorithm = %q", algo, workers, js.Algorithm)
+			}
+			if js.DistComps <= 0 {
+				t.Errorf("%s/w%d: DistComps = %d, want > 0", algo, workers, js.DistComps)
+			}
+			if js.PairsEmitted != int64(len(res.Pairs)) {
+				t.Errorf("%s/w%d: PairsEmitted = %d, want %d", algo, workers, js.PairsEmitted, len(res.Pairs))
+			}
+			if js.ProbeTime <= 0 {
+				t.Errorf("%s/w%d: ProbeTime = %v, want > 0", algo, workers, js.ProbeTime)
+			}
+			if algo != AlgorithmBrute && js.BuildTime <= 0 {
+				t.Errorf("%s/w%d: BuildTime = %v, want > 0", algo, workers, js.BuildTime)
+			}
+			if js.Elapsed <= 0 {
+				t.Errorf("%s/w%d: Elapsed not positive", algo, workers)
+			}
+		}
+	}
+}
+
+// TestJoinStatsAutoResolves checks that Stats reports the concrete
+// algorithm Auto picked, not "auto".
+func TestJoinStatsAutoResolves(t *testing.T) {
+	ds, err := Synthetic("uniform", 200, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js JoinStats
+	if _, err := SelfJoin(ds, Options{Eps: 0.1, Algorithm: AlgorithmAuto, Stats: &js}); err != nil {
+		t.Fatal(err)
+	}
+	if js.Algorithm == AlgorithmAuto || js.Algorithm == "" {
+		t.Errorf("auto run reported Algorithm = %q, want a concrete algorithm", js.Algorithm)
+	}
+}
+
+// TestJoinStatsTwoSet covers the two-set entry point for every algorithm.
+func TestJoinStatsTwoSet(t *testing.T) {
+	a, _ := Synthetic("uniform", 300, 5, 1)
+	b, _ := Synthetic("clustered", 200, 5, 2)
+	for _, algo := range Algorithms() {
+		var js JoinStats
+		res, err := Join(a, b, Options{Eps: 0.15, Algorithm: algo, Stats: &js})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if js.DistComps <= 0 {
+			t.Errorf("%s: DistComps = %d, want > 0", algo, js.DistComps)
+		}
+		if js.PairsEmitted != int64(len(res.Pairs)) {
+			t.Errorf("%s: PairsEmitted = %d, want %d", algo, js.PairsEmitted, len(res.Pairs))
+		}
+	}
+}
+
+// TestJoinStatsStreamingAndCounting checks that the non-collecting paths —
+// SelfJoinEach / JoinEach streaming and CollectPairs=false counting — fill
+// Stats too, with PairsEmitted equal to the delivered/counted totals.
+func TestJoinStatsStreamingAndCounting(t *testing.T) {
+	ds, err := Synthetic("clustered", 300, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := SelfJoin(ds, Options{Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(base.Pairs))
+	if want == 0 {
+		t.Fatal("degenerate test: no pairs")
+	}
+
+	var js JoinStats
+	var streamed int64
+	if _, err := SelfJoinEach(ds, Options{Eps: 0.1, Stats: &js}, func(i, j int) { streamed++ }); err != nil {
+		t.Fatal(err)
+	}
+	if js.PairsEmitted != streamed || streamed != want {
+		t.Errorf("streaming: PairsEmitted = %d, streamed %d, want %d", js.PairsEmitted, streamed, want)
+	}
+	if js.DistComps <= 0 {
+		t.Error("streaming: DistComps not charged")
+	}
+
+	js = JoinStats{}
+	off := false
+	if _, err := SelfJoin(ds, Options{Eps: 0.1, CollectPairs: &off, Stats: &js}); err != nil {
+		t.Fatal(err)
+	}
+	if js.PairsEmitted != want {
+		t.Errorf("counting-only: PairsEmitted = %d, want %d", js.PairsEmitted, want)
+	}
+
+	js = JoinStats{}
+	var crossed int64
+	if _, err := JoinEach(ds, ds, Options{Eps: 0.1, Stats: &js}, func(i, j int) { crossed++ }); err != nil {
+		t.Fatal(err)
+	}
+	if js.PairsEmitted != crossed || crossed <= 0 {
+		t.Errorf("JoinEach: PairsEmitted = %d, delivered %d", js.PairsEmitted, crossed)
+	}
+}
+
+// TestJoinStatsIndex checks the reusable-Index entry points fill Stats.
+func TestJoinStatsIndex(t *testing.T) {
+	ds, err := Synthetic("clustered", 300, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewIndex(ds, 0.1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js JoinStats
+	res, err := x.SelfJoin(Options{Eps: 0.1, Stats: &js})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.PairsEmitted != int64(len(res.Pairs)) || js.DistComps <= 0 {
+		t.Errorf("index stats = %+v for %d pairs", js, len(res.Pairs))
+	}
+	if js.BuildTime != 0 {
+		t.Errorf("index query BuildTime = %v, want 0 (build paid at NewIndex)", js.BuildTime)
+	}
+}
+
+// TestEpsRejectedAtEveryEntryPoint pins the contract that a non-positive
+// or non-finite Eps is rejected at every public boundary before any work
+// runs.
+func TestEpsRejectedAtEveryEntryPoint(t *testing.T) {
+	ds := unitSquareCluster()
+	noop := func(i, j int) { t.Error("callback ran despite invalid Eps") }
+	for name, eps := range map[string]float64{
+		"zero": 0, "negative": -1, "nan": math.NaN(),
+		"+inf": math.Inf(1), "-inf": math.Inf(-1),
+	} {
+		opt := Options{Eps: eps}
+		if _, err := SelfJoin(ds, opt); err == nil {
+			t.Errorf("SelfJoin accepted %s Eps", name)
+		}
+		if _, err := Join(ds, ds, opt); err == nil {
+			t.Errorf("Join accepted %s Eps", name)
+		}
+		if _, err := SelfJoinEach(ds, opt, noop); err == nil {
+			t.Errorf("SelfJoinEach accepted %s Eps", name)
+		}
+		if _, err := JoinEach(ds, ds, opt, noop); err == nil {
+			t.Errorf("JoinEach accepted %s Eps", name)
+		}
+	}
+}
