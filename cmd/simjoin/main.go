@@ -37,6 +37,7 @@ func main() {
 		count    = flag.Bool("count", false, "print only the pair count and statistics")
 		stream   = flag.Bool("stream", false, "print pairs as they are found instead of buffering the result set (memory stays flat)")
 		quiet    = flag.Bool("quiet", false, "suppress the statistics footer on stderr")
+		tracing  = flag.Bool("trace", false, "record a trace of the run and print its span tree on stderr")
 		knn      = flag.Int("knn", 0, "k-nearest-neighbor join instead of an ε-join (requires -with; ignores -eps)")
 	)
 	flag.Parse()
@@ -47,13 +48,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*inPath, *withPath, *eps, *metric, *algo, *workers, *count, *stream, *quiet, os.Stdout, os.Stderr); err != nil {
+	if err := run(*inPath, *withPath, *eps, *metric, *algo, *workers, *count, *stream, *quiet, *tracing, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "simjoin:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath, withPath string, eps float64, metric, algo string, workers int, countOnly, stream, quiet bool, stdout, stderr io.Writer) error {
+func run(inPath, withPath string, eps float64, metric, algo string, workers int, countOnly, stream, quiet, tracing bool, stdout, stderr io.Writer) error {
 	if inPath == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -77,6 +78,16 @@ func run(inPath, withPath string, eps float64, metric, algo string, workers int,
 	if countOnly {
 		off := false
 		opt.CollectPairs = &off
+	}
+	var tracer *simjoin.Tracer
+	if tracing {
+		tracer = simjoin.NewTracer(1)
+		root := tracer.Start("simjoin.run")
+		opt.Trace = root
+		defer func() {
+			root.End()
+			printTrace(stderr, tracer)
+		}()
 	}
 	var b *simjoin.Dataset
 	if withPath != "" {

@@ -24,7 +24,7 @@ func TestSelfJoinOutput(t *testing.T) {
 		{0, 0}, {0.05, 0}, {0.5, 0.5}, {0.52, 0.5}, {0.9, 0.9},
 	})
 	var out, errw strings.Builder
-	if err := run(in, "", 0.1, "L2", "ekdb", 1, false, false, false, &out, &errw); err != nil {
+	if err := run(in, "", 0.1, "L2", "ekdb", 1, false, false, false, false, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	lines := nonEmptyLines(out.String())
@@ -50,7 +50,7 @@ func TestSelfJoinOutput(t *testing.T) {
 func TestCountOnlyAndQuiet(t *testing.T) {
 	in := writeFixture(t, "a.bin", [][]float64{{0}, {0.01}, {5}})
 	var out, errw strings.Builder
-	if err := run(in, "", 0.1, "L2", "brute", 1, true, false, true, &out, &errw); err != nil {
+	if err := run(in, "", 0.1, "L2", "brute", 1, true, false, true, false, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "1" {
@@ -65,7 +65,7 @@ func TestTwoSetJoin(t *testing.T) {
 	a := writeFixture(t, "a.csv", [][]float64{{0, 0}, {1, 1}})
 	b := writeFixture(t, "b.csv", [][]float64{{0.05, 0}, {9, 9}})
 	var out, errw strings.Builder
-	if err := run(a, b, 0.1, "L2", "rtree", 1, false, false, true, &out, &errw); err != nil {
+	if err := run(a, b, 0.1, "L2", "rtree", 1, false, false, true, false, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	lines := nonEmptyLines(out.String())
@@ -79,14 +79,14 @@ func TestRunErrors(t *testing.T) {
 	bad3d := writeFixture(t, "b.csv", [][]float64{{0, 0, 0}})
 	var out, errw strings.Builder
 	for name, call := range map[string]func() error{
-		"missing -in":   func() error { return run("", "", 0.1, "L2", "ekdb", 1, false, false, true, &out, &errw) },
-		"bad metric":    func() error { return run(good, "", 0.1, "cosine", "ekdb", 1, false, false, true, &out, &errw) },
-		"bad algorithm": func() error { return run(good, "", 0.1, "L2", "lsh", 1, false, false, true, &out, &errw) },
+		"missing -in":   func() error { return run("", "", 0.1, "L2", "ekdb", 1, false, false, true, false, &out, &errw) },
+		"bad metric":    func() error { return run(good, "", 0.1, "cosine", "ekdb", 1, false, false, true, false, &out, &errw) },
+		"bad algorithm": func() error { return run(good, "", 0.1, "L2", "lsh", 1, false, false, true, false, &out, &errw) },
 		"missing file": func() error {
-			return run("/no/such/file.csv", "", 0.1, "L2", "ekdb", 1, false, false, true, &out, &errw)
+			return run("/no/such/file.csv", "", 0.1, "L2", "ekdb", 1, false, false, true, false, &out, &errw)
 		},
-		"dims mismatch": func() error { return run(good, bad3d, 0.1, "L2", "ekdb", 1, false, false, true, &out, &errw) },
-		"zero eps":      func() error { return run(good, "", 0, "L2", "ekdb", 1, false, false, true, &out, &errw) },
+		"dims mismatch": func() error { return run(good, bad3d, 0.1, "L2", "ekdb", 1, false, false, true, false, &out, &errw) },
+		"zero eps":      func() error { return run(good, "", 0, "L2", "ekdb", 1, false, false, true, false, &out, &errw) },
 	} {
 		if err := call(); err == nil {
 			t.Errorf("%s accepted", name)
@@ -156,7 +156,7 @@ func TestStreamMatchesBuffered(t *testing.T) {
 	}
 	in := writeFixture(t, "a.csv", pts)
 	var buffered, streamed, errw strings.Builder
-	if err := run(in, "", 0.1, "L2", "ekdb", 1, false, false, true, &buffered, &errw); err != nil {
+	if err := run(in, "", 0.1, "L2", "ekdb", 1, false, false, true, false, &buffered, &errw); err != nil {
 		t.Fatal(err)
 	}
 	// Streamed pairs arrive in engine order; compare as sets. Workers>1
@@ -164,7 +164,7 @@ func TestStreamMatchesBuffered(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		streamed.Reset()
 		errw.Reset()
-		if err := run(in, "", 0.1, "L2", "ekdb", workers, false, true, false, &streamed, &errw); err != nil {
+		if err := run(in, "", 0.1, "L2", "ekdb", workers, false, true, false, false, &streamed, &errw); err != nil {
 			t.Fatal(err)
 		}
 		want := nonEmptyLines(buffered.String())
@@ -191,7 +191,7 @@ func TestStreamTwoSet(t *testing.T) {
 	a := writeFixture(t, "a.csv", [][]float64{{0, 0}, {5, 5}})
 	b := writeFixture(t, "b.csv", [][]float64{{0.05, 0}, {9, 9}})
 	var out, errw strings.Builder
-	if err := run(a, b, 0.1, "L2", "", 2, false, true, true, &out, &errw); err != nil {
+	if err := run(a, b, 0.1, "L2", "", 2, false, true, true, false, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	lines := nonEmptyLines(out.String())
@@ -203,7 +203,7 @@ func TestStreamTwoSet(t *testing.T) {
 func TestStreamAndCountExclusive(t *testing.T) {
 	in := writeFixture(t, "a.csv", [][]float64{{0}, {1}})
 	var out, errw strings.Builder
-	if err := run(in, "", 0.1, "L2", "", 1, true, true, true, &out, &errw); err == nil {
+	if err := run(in, "", 0.1, "L2", "", 1, true, true, true, false, &out, &errw); err == nil {
 		t.Fatal("run accepted -count with -stream")
 	}
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"simjoin"
+)
+
+// printTrace renders the tracer's most recent trace as an indented span
+// tree on w:
+//
+//	trace 4bf92f3577b34da6a3ce929d0e0e4736
+//	  simjoin.run 12.4ms
+//	    simjoin.SelfJoin 12.1ms algorithm=ekdb [dist_comps=812 pairs_emitted=97]
+//	      build 1.3ms
+//	      probe 10.8ms
+func printTrace(w io.Writer, tr *simjoin.Tracer) {
+	traces := tr.Traces()
+	if len(traces) == 0 {
+		fmt.Fprintln(w, "trace: no completed trace recorded")
+		return
+	}
+	td := traces[len(traces)-1]
+	fmt.Fprintf(w, "trace %s\n", td.TraceID)
+	root, ok := td.Root()
+	if !ok {
+		return
+	}
+	printSpan(w, td, root, 1)
+}
+
+func printSpan(w io.Writer, td simjoin.TraceData, sp simjoin.SpanData, depth int) {
+	fmt.Fprintf(w, "%s%s %s%s%s\n", strings.Repeat("  ", depth),
+		sp.Name, sp.Duration(), formatAttrs(sp.Attrs), formatCounters(sp.Counters))
+	for _, child := range td.ChildrenOf(sp.SpanID) {
+		printSpan(w, td, child, depth+1)
+	}
+}
+
+func formatAttrs(attrs []simjoin.SpanAttr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	sorted := append([]simjoin.SpanAttr(nil), attrs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	for _, a := range sorted {
+		fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+	}
+	return b.String()
+}
+
+func formatCounters(counters []simjoin.SpanCounter) string {
+	if len(counters) == 0 {
+		return ""
+	}
+	sorted := append([]simjoin.SpanCounter(nil), counters...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	parts := make([]string, len(sorted))
+	for i, c := range sorted {
+		parts[i] = fmt.Sprintf("%s=%d", c.Key, c.Value)
+	}
+	return " [" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceFlagPrintsSpanTree: -trace renders the run's span tree on
+// stderr — a root, the library entry-point child with its algorithm
+// attribute and work counters, and the build/probe phases under it.
+func TestTraceFlagPrintsSpanTree(t *testing.T) {
+	in := writeFixture(t, "a.csv", [][]float64{
+		{0, 0}, {0.05, 0}, {0.5, 0.5}, {0.52, 0.5}, {0.9, 0.9},
+	})
+	var out, errw strings.Builder
+	if err := run(in, "", 0.1, "L2", "ekdb", 1, false, false, true, true, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	got := errw.String()
+	for _, want := range []string{
+		"trace ",
+		"simjoin.run",
+		"simjoin.SelfJoin",
+		"algorithm=ekdb",
+		"pairs_emitted=2",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace output missing %q:\n%s", want, got)
+		}
+	}
+	// The entry-point span is indented under the CLI root.
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "simjoin.SelfJoin") && !strings.HasPrefix(line, "    ") {
+			t.Errorf("SelfJoin span not nested under root: %q", line)
+		}
+	}
+}

@@ -24,12 +24,25 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"simjoin"
 )
+
+// gitCommit reports the working tree's short revision, best-effort:
+// outside a git checkout (or without git on PATH) it returns "" rather
+// than failing the run.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
 
 // benchRepeats is how many times each case is measured; the reported
 // ns/op is the fastest run.
@@ -45,7 +58,12 @@ type Report struct {
 	Schema string `json:"schema"`
 	Date   string `json:"date"`
 	Go     string `json:"go"`
+	OS     string `json:"os"`
+	Arch   string `json:"arch"`
 	CPUs   int    `json:"cpus"`
+	// Commit is the short git revision the suite ran at, when the
+	// working tree is a git checkout; "" otherwise.
+	Commit string `json:"commit,omitempty"`
 	Quick  bool   `json:"quick"`
 	Cases  []Case `json:"cases"`
 }
@@ -283,7 +301,10 @@ func main() {
 		Schema: Schema,
 		Date:   time.Now().UTC().Format(time.RFC3339),
 		Go:     runtime.Version(),
+		OS:     runtime.GOOS,
+		Arch:   runtime.GOARCH,
 		CPUs:   runtime.NumCPU(),
+		Commit: gitCommit(),
 		Quick:  *quick,
 	}
 	for _, sp := range suite() {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -13,6 +14,7 @@ import (
 
 	"simjoin/internal/cluster"
 	"simjoin/internal/obsv"
+	"simjoin/internal/obsv/trace"
 )
 
 // coordServer is the HTTP face of coordinator mode: the worker REST API,
@@ -22,6 +24,11 @@ import (
 type coordServer struct {
 	c *cluster.Coordinator
 	m *metrics
+	// tracer retains completed request traces — a coordinator trace holds
+	// one "shard.<op>" child span per worker RPC. log, when non-nil, gets
+	// one structured access-log line per request.
+	tracer *trace.Tracer
+	log    *slog.Logger
 	// fanout observes the wall time of each scatter-gather operation
 	// across the fleet, labeled by operation.
 	fanout *obsv.HistogramVec
@@ -31,7 +38,7 @@ type coordServer struct {
 
 func newCoordServer(c *cluster.Coordinator) *coordServer {
 	m := newMetrics()
-	s := &coordServer{c: c, m: m}
+	s := &coordServer{c: c, m: m, tracer: trace.New(defaultTraceCapacity)}
 	s.fanout = m.reg.NewHistogramVec("simjoind_fanout_duration_seconds",
 		"Scatter-gather fan-out latency across the worker fleet by operation.", "op", obsv.LatencyBuckets())
 	// Health of every worker, probed at scrape time: 1 up, 0 down.
@@ -66,12 +73,12 @@ func (s *coordServer) observeFanout(op string, start time.Time) {
 	s.fanout.With(op).Observe(time.Since(start).Seconds())
 }
 
-// handler wires up the coordinator routes with the same metrics
-// middleware the worker uses.
+// handler wires up the coordinator routes with the same tracing +
+// access-log + metrics middleware the worker uses.
 func (s *coordServer) handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
-		mux.HandleFunc(pattern, s.m.wrap(pattern, h))
+		mux.HandleFunc(pattern, instrument(s.m, s.tracer, s.log, pattern, h))
 	}
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /datasets", s.handleList)
@@ -84,6 +91,7 @@ func (s *coordServer) handler() http.Handler {
 	handle("POST /join", unsupported("two-set joins"))
 	mux.Handle("GET /metrics", s.m.promHandler())
 	mux.HandleFunc("GET /debug/vars", s.m.varsHandler)
+	mux.HandleFunc("GET /debug/traces", tracesHandler(s.tracer))
 	if s.debug {
 		mountPprof(mux)
 	}

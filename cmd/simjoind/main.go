@@ -16,6 +16,7 @@
 //	GET    /healthz                   liveness + dataset count
 //	GET    /metrics                   Prometheus text: per-route counters + latency histograms
 //	GET    /debug/vars                per-route request/error counters (legacy JSON)
+//	GET    /debug/traces              recent request traces as span trees (JSON)
 //
 // -debug additionally mounts net/http/pprof under /debug/pprof/ in
 // either mode.
@@ -27,7 +28,9 @@
 //	simjoind -addr :8080 -workers http://w1:8081,http://w2:8082 [-margin 0.25]
 //
 // Every response is JSON; errors carry {"error": "…"} with a 4xx/5xx
-// status. The server shuts down gracefully on SIGINT/SIGTERM.
+// status. The server logs one structured JSON line per request to
+// stderr (method, route, status, bytes, duration, trace_id) and shuts
+// down gracefully on SIGINT/SIGTERM.
 package main
 
 import (
@@ -35,7 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -57,54 +60,75 @@ func (l *loadFlags) Set(v string) error {
 }
 
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main minus the exit: every fatal path logs a structured error
+// and returns a non-zero code instead of calling log.Fatal, so the
+// daemon has exactly one exit point and tests could drive it.
+func run(argv []string) int {
+	fs := flag.NewFlagSet("simjoind", flag.ExitOnError)
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.String("workers", "", "comma-separated worker base URLs; enables coordinator mode")
-		margin  = flag.Float64("margin", cluster.DefaultMargin, "coordinator: ε-boundary replication width for uploads (max exact self-join eps)")
-		debug   = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.String("workers", "", "comma-separated worker base URLs; enables coordinator mode")
+		margin  = fs.Float64("margin", cluster.DefaultMargin, "coordinator: ε-boundary replication width for uploads (max exact self-join eps)")
+		debug   = fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 		loads   loadFlags
 	)
-	flag.Var(&loads, "load", "preload a dataset: name=path (repeatable; worker mode only)")
-	flag.Parse()
+	fs.Var(&loads, "load", "preload a dataset: name=path (repeatable; worker mode only)")
+	_ = fs.Parse(argv)
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	var h http.Handler
 	if *workers != "" {
 		if len(loads) > 0 {
-			log.Fatal("simjoind: -load is not supported in coordinator mode; load data on the workers or upload through the coordinator")
+			logger.Error("-load is not supported in coordinator mode; load data on the workers or upload through the coordinator")
+			return 2
 		}
-		urls := parseWorkers(*workers)
+		urls, err := parseWorkers(*workers)
+		if err != nil {
+			logger.Error("parsing -workers", "error", err)
+			return 2
+		}
 		cs := newCoordServer(cluster.New(urls, *margin, nil))
 		cs.debug = *debug
+		cs.log = logger
 		h = cs.handler()
-		fmt.Printf("simjoind coordinating %d workers on %s (margin %g)\n", len(urls), *addr, *margin)
+		logger.Info("simjoind coordinating", "workers", len(urls), "addr", *addr, "margin", *margin)
 	} else {
 		srv := newServer()
 		srv.debug = *debug
+		srv.log = logger
 		for _, spec := range loads {
 			name, path, ok := strings.Cut(spec, "=")
 			if !ok {
-				log.Fatalf("simjoind: -load %q: want name=path", spec)
+				logger.Error("bad -load flag: want name=path", "flag", spec)
+				return 2
 			}
 			ds, err := simjoin.Load(path)
 			if err != nil {
-				log.Fatalf("simjoind: loading %s: %v", path, err)
+				logger.Error("loading dataset", "path", path, "error", err)
+				return 1
 			}
 			srv.sets[name] = &entry{ds: ds}
-			fmt.Printf("loaded %s: %d points × %d dims\n", name, ds.Len(), ds.Dims())
+			logger.Info("loaded dataset", "name", name, "points", ds.Len(), "dims", ds.Dims())
 		}
 		h = srv.handler()
-		fmt.Printf("simjoind listening on %s\n", *addr)
+		logger.Info("simjoind listening", "addr", *addr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := serve(ctx, *addr, h); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("simjoind: %v", err)
+		logger.Error("server failed", "error", err)
+		return 1
 	}
+	return 0
 }
 
 // parseWorkers splits the -workers list into normalized base URLs.
-func parseWorkers(s string) []string {
+func parseWorkers(s string) ([]string, error) {
 	var out []string
 	for _, w := range strings.Split(s, ",") {
 		w = strings.TrimSuffix(strings.TrimSpace(w), "/")
@@ -114,9 +138,9 @@ func parseWorkers(s string) []string {
 		out = append(out, w)
 	}
 	if len(out) == 0 {
-		log.Fatal("simjoind: -workers lists no URLs")
+		return nil, fmt.Errorf("-workers lists no URLs")
 	}
-	return out
+	return out, nil
 }
 
 // serve runs a hardened http.Server until ctx is cancelled (SIGINT or

@@ -41,15 +41,24 @@ func newMetrics() *metrics {
 	}
 }
 
-// statusWriter records the status code so error responses can be counted.
+// statusWriter records the status code so error responses can be
+// counted, and the body bytes written so access logs can report
+// response size.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // Flush forwards to the wrapped writer so NDJSON streaming keeps working

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
 
 	"simjoin"
+	"simjoin/internal/obsv/trace"
 )
 
 // maxBodyBytes bounds request bodies; datasets beyond this belong in files
@@ -23,6 +25,10 @@ type server struct {
 	mu   sync.RWMutex
 	sets map[string]*entry
 	m    *metrics
+	// tracer retains completed request traces for GET /debug/traces;
+	// log, when non-nil, gets one structured access-log line per request.
+	tracer *trace.Tracer
+	log    *slog.Logger
 	// debug additionally mounts net/http/pprof under /debug/pprof/.
 	debug bool
 }
@@ -78,16 +84,20 @@ func (e *entry) appendPoints(pts [][]float64) (int, error) {
 }
 
 func newServer() *server {
-	return &server{sets: make(map[string]*entry), m: newMetrics()}
+	return &server{
+		sets:   make(map[string]*entry),
+		m:      newMetrics(),
+		tracer: trace.New(defaultTraceCapacity),
+	}
 }
 
-// handler wires up the routes, each wrapped in the request/error/latency
-// middleware behind GET /metrics (Prometheus text) and the legacy
-// GET /debug/vars JSON.
+// handler wires up the routes, each wrapped in the tracing + access-log +
+// request/error/latency middleware, behind GET /metrics (Prometheus
+// text), the legacy GET /debug/vars JSON, and GET /debug/traces.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
-		mux.HandleFunc(pattern, s.m.wrap(pattern, h))
+		mux.HandleFunc(pattern, instrument(s.m, s.tracer, s.log, pattern, h))
 	}
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /datasets", s.handleList)
@@ -100,6 +110,7 @@ func (s *server) handler() http.Handler {
 	handle("POST /join", s.handleJoin)
 	mux.Handle("GET /metrics", s.m.promHandler())
 	mux.HandleFunc("GET /debug/vars", s.m.varsHandler)
+	mux.HandleFunc("GET /debug/traces", tracesHandler(s.tracer))
 	if s.debug {
 		mountPprof(mux)
 	}
@@ -356,6 +367,7 @@ func (s *server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	opt.Trace = trace.FromContext(r.Context())
 	if p.Stream {
 		streamPairs(w, s.m, "POST /datasets/{name}/selfjoin", p.MaxPairs, func(emit func(i, j int)) (simjoin.Stats, error) {
 			return simjoin.SelfJoinEach(e.dataset(), opt, emit)
@@ -403,6 +415,7 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	opt.Trace = trace.FromContext(r.Context())
 	if req.Stream {
 		streamPairs(w, s.m, "POST /join", req.MaxPairs, func(emit func(i, j int)) (simjoin.Stats, error) {
 			return simjoin.JoinEach(da, db, opt, emit)

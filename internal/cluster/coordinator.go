@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"sync"
 
+	"simjoin/internal/obsv/trace"
 	"simjoin/internal/rclient"
 )
 
@@ -80,6 +82,9 @@ type ShardError struct {
 	Shard int    `json:"shard"`
 	URL   string `json:"url"`
 	Err   string `json:"error"`
+	// Attempts is how many times the shard's RPC was tried before
+	// giving up (0 when the failure carried no attempt count).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // UnavailableError reports a scatter in which no shard answered — there
@@ -119,7 +124,7 @@ func (c *Coordinator) Upload(ctx context.Context, name string, pts [][]float64, 
 		return Info{}, QueryError{Msg: "margin must be positive"}
 	}
 	sm, shardPts := Partition(pts, c.workers, margin)
-	failed := c.scatter(sm, sm.nonEmpty(), func(s int) error {
+	failed := c.scatter(ctx, "upload", sm, sm.nonEmpty(), func(ctx context.Context, s int) error {
 		body, err := json.Marshal(map[string]any{"points": shardPts[s]})
 		if err != nil {
 			return err
@@ -259,7 +264,7 @@ func (c *Coordinator) Range(ctx context.Context, name string, point []float64, r
 	}
 	merged := make(indexSet)
 	var mu sync.Mutex
-	failed := c.scatter(sm, targets, func(s int) error {
+	failed := c.scatter(ctx, "range", sm, targets, func(ctx context.Context, s int) error {
 		var out struct {
 			Indexes []int `json:"indexes"`
 		}
@@ -308,7 +313,7 @@ func (c *Coordinator) KNN(ctx context.Context, name string, point []float64, k i
 	targets := sm.nonEmpty()
 	merged := make(neighborSet)
 	var mu sync.Mutex
-	failed := c.scatter(sm, targets, func(s int) error {
+	failed := c.scatter(ctx, "knn", sm, targets, func(ctx context.Context, s int) error {
 		var out struct {
 			Neighbors []Neighbor `json:"neighbors"`
 		}
@@ -370,8 +375,13 @@ func (c *Coordinator) Health(ctx context.Context) []WorkerHealth {
 }
 
 // scatter runs fn for each listed shard concurrently and gathers the
-// failures, ordered by shard.
-func (c *Coordinator) scatter(sm *ShardMap, shards []int, fn func(shard int) error) []ShardError {
+// failures, ordered by shard. When ctx carries a trace span, every
+// shard RPC runs under its own child span — named "shard.<op>", tagged
+// with the shard index, worker URL and outcome — and fn receives a
+// context carrying that span, so the resilient client's per-attempt
+// spans nest beneath it and its traceparent reaches the worker.
+func (c *Coordinator) scatter(ctx context.Context, op string, sm *ShardMap, shards []int, fn func(ctx context.Context, shard int) error) []ShardError {
+	parent := trace.FromContext(ctx)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var failed []ShardError
@@ -379,11 +389,24 @@ func (c *Coordinator) scatter(sm *ShardMap, shards []int, fn func(shard int) err
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			if err := fn(s); err != nil {
+			sp := parent.Child("shard." + op)
+			sp.SetAttr("shard", strconv.Itoa(s))
+			sp.SetAttr("worker", sm.Shards[s].URL)
+			err := fn(trace.NewContext(ctx, sp), s)
+			if err != nil {
+				attempts := rclient.Attempts(err)
+				sp.SetAttr("status", "error")
+				sp.SetAttr("error", err.Error())
+				if attempts > 0 {
+					sp.AddCounter("attempts", int64(attempts))
+				}
 				mu.Lock()
-				failed = append(failed, ShardError{Shard: s, URL: sm.Shards[s].URL, Err: err.Error()})
+				failed = append(failed, ShardError{Shard: s, URL: sm.Shards[s].URL, Err: err.Error(), Attempts: attempts})
 				mu.Unlock()
+			} else {
+				sp.SetAttr("status", "ok")
 			}
+			sp.End()
 		}(s)
 	}
 	wg.Wait()

@@ -67,7 +67,7 @@ func (c *Coordinator) SelfJoinEach(ctx context.Context, name string, q JoinQuery
 		delivered++
 		fn(i, j)
 	})
-	failed := c.scatter(sm, targets, func(s int) error {
+	failed := c.scatter(ctx, "selfjoin", sm, targets, func(ctx context.Context, s int) error {
 		sink := funnel.Handle()
 		global := sm.Shards[s].Global
 		return c.streamShardSelfJoin(ctx, sm, s, name, q, func(p [2]int) error {

@@ -1,0 +1,63 @@
+package trace
+
+import "sync"
+
+// Ring is a fixed-capacity concurrent buffer of completed traces: the
+// newest capacity traces survive, older ones are evicted in FIFO order.
+// It is the retention policy behind GET /debug/traces — recent history
+// for debugging one slow request, bounded memory forever.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []TraceData
+	next  int  // index the next Push writes
+	wrapd bool // the buffer has wrapped at least once
+}
+
+// NewRing returns a Ring retaining the last capacity traces (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]TraceData, capacity)}
+}
+
+// Capacity returns the fixed retention size.
+func (r *Ring) Capacity() int { return len(r.buf) }
+
+// Len returns the number of traces currently retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrapd {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Push retains td, evicting the oldest trace when full.
+func (r *Ring) Push(td TraceData) {
+	r.mu.Lock()
+	r.buf[r.next] = td
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapd = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, oldest first. The returned
+// slice is the caller's to keep.
+func (r *Ring) Snapshot() []TraceData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapd {
+		out := make([]TraceData, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]TraceData, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

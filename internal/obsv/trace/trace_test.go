@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAssembly(t *testing.T) {
+	tr := New(4)
+	root := tr.Start("root")
+	root.SetAttr("kind", "server")
+	c1 := root.Child("shard.0")
+	c1.AddCounter("attempts", 1)
+	g := c1.Child("rpc")
+	g.End()
+	c1.End()
+	c2 := root.Child("shard.1")
+	c2.End()
+	root.ChildInterval("build", root.StartTime(), 5*time.Millisecond)
+	root.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	td := traces[0]
+	if len(td.Spans) != 5 {
+		t.Fatalf("got %d spans, want 5: %+v", len(td.Spans), td.Spans)
+	}
+	rd, ok := td.Root()
+	if !ok || rd.Name != "root" {
+		t.Fatalf("root = %+v ok=%v", rd, ok)
+	}
+	if rd.Attr("kind") != "server" {
+		t.Fatalf("root attrs = %+v", rd.Attrs)
+	}
+	kids := td.ChildrenOf(rd.SpanID)
+	names := map[string]bool{}
+	for _, k := range kids {
+		names[k.Name] = true
+		if k.TraceID != td.TraceID {
+			t.Fatalf("child %s has trace %s, want %s", k.Name, k.TraceID, td.TraceID)
+		}
+	}
+	for _, want := range []string{"shard.0", "shard.1", "build"} {
+		if !names[want] {
+			t.Fatalf("root children %v missing %q", names, want)
+		}
+	}
+	// The grandchild hangs under shard.0, not the root.
+	var shard0 SpanData
+	for _, k := range kids {
+		if k.Name == "shard.0" {
+			shard0 = k
+		}
+	}
+	gc := td.ChildrenOf(shard0.SpanID)
+	if len(gc) != 1 || gc[0].Name != "rpc" {
+		t.Fatalf("grandchildren of shard.0 = %+v", gc)
+	}
+	if len(shard0.Counters) != 1 || shard0.Counters[0] != (Counter{Key: "attempts", Value: 1}) {
+		t.Fatalf("shard.0 counters = %+v", shard0.Counters)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer started a span")
+	}
+	// Every method must be callable on the nil span.
+	sp.SetAttr("k", "v")
+	sp.AddCounter("n", 1)
+	sp.ChildInterval("i", time.Now(), time.Second)
+	child := sp.Child("c")
+	if child != nil {
+		t.Fatal("nil span produced a child")
+	}
+	child.End()
+	sp.End()
+	if got := sp.TraceParent(); got != "" {
+		t.Fatalf("nil span traceparent = %q", got)
+	}
+	if !sp.TraceID().IsZero() || !sp.SpanID().IsZero() {
+		t.Fatal("nil span has non-zero IDs")
+	}
+	if tr.Traces() != nil {
+		t.Fatal("nil tracer retained traces")
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := New(4)
+	sp := tr.Start("once")
+	sp.End()
+	sp.End()
+	if n := len(tr.Traces()); n != 1 {
+		t.Fatalf("double End recorded %d traces, want 1", n)
+	}
+}
+
+func TestStartRemoteContinuesTrace(t *testing.T) {
+	up := New(4)
+	parent := up.Start("client")
+	header := parent.TraceParent()
+
+	down := New(4)
+	server := down.StartRemote("server", header)
+	if server.TraceID() != parent.TraceID() {
+		t.Fatalf("remote span trace %s, want %s", server.TraceID(), parent.TraceID())
+	}
+	server.End()
+	td := down.Traces()[0]
+	rd, _ := td.Root()
+	if rd.ParentID != parent.SpanID().String() {
+		t.Fatalf("server parent = %q, want remote span %s", rd.ParentID, parent.SpanID())
+	}
+	if td.TraceID != parent.TraceID().String() {
+		t.Fatalf("trace id = %s, want %s", td.TraceID, parent.TraceID())
+	}
+
+	// Garbage falls back to a fresh trace instead of failing.
+	fresh := down.StartRemote("server", "not-a-traceparent")
+	if fresh == nil || fresh.TraceID().IsZero() || fresh.TraceID() == parent.TraceID() {
+		t.Fatalf("malformed header handled badly: %+v", fresh)
+	}
+	fresh.End()
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New(4)
+	sp := tr.Start("x")
+	ctx := NewContext(context.Background(), sp)
+	if got := FromContext(ctx); got != sp {
+		t.Fatalf("FromContext = %p, want %p", got, sp)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("empty context yielded span %p", got)
+	}
+	// Storing nil keeps the previous value visible.
+	if got := FromContext(NewContext(ctx, nil)); got != sp {
+		t.Fatalf("NewContext(nil) hid the span: %p", got)
+	}
+	sp.End()
+}
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tid, sid := newTraceID(), newSpanID()
+	h := FormatTraceParent(tid, sid)
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("format = %q", h)
+	}
+	gt, gs, ok := ParseTraceParent(h)
+	if !ok || gt != tid || gs != sid {
+		t.Fatalf("roundtrip failed: %v %v %v", gt, gs, ok)
+	}
+}
+
+func TestTraceParentRejectsMalformed(t *testing.T) {
+	good := FormatTraceParent(newTraceID(), newSpanID())
+	bad := []string{
+		"",
+		"00",
+		good[:54],       // truncated
+		"ff" + good[2:], // forbidden version
+		"0G" + good[2:], // non-hex version
+		"00-" + strings.Repeat("0", 32) + good[35:],     // zero trace id
+		good[:36] + strings.Repeat("0", 16) + good[52:], // zero span id
+		strings.ToUpper(good),                           // uppercase hex forbidden
+		good + "extra",                                  // trailing junk without separator
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceParent(h); ok {
+			t.Errorf("accepted malformed %q", h)
+		}
+	}
+	// Future versions with extra dash-separated fields parse.
+	future := "01" + good[2:] + "-deadbeef"
+	if _, _, ok := ParseTraceParent(future); !ok {
+		t.Errorf("rejected future-version %q", future)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Push(TraceData{TraceID: string(rune('a' + i))})
+	}
+	if r.Len() != 3 || r.Capacity() != 3 {
+		t.Fatalf("len=%d cap=%d", r.Len(), r.Capacity())
+	}
+	snap := r.Snapshot()
+	want := []string{"c", "d", "e"}
+	for i, td := range snap {
+		if td.TraceID != want[i] {
+			t.Fatalf("snapshot[%d] = %q, want %q (full: %+v)", i, td.TraceID, want[i], snap)
+		}
+	}
+}
+
+// TestRingConcurrency hammers Push and Snapshot from many goroutines;
+// run under -race it is the buffer's thread-safety proof.
+func TestRingConcurrency(t *testing.T) {
+	r := NewRing(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Push(TraceData{TraceID: "t"})
+				if i%10 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 16 {
+		t.Fatalf("len = %d after saturation, want 16", r.Len())
+	}
+}
+
+// TestConcurrentChildren ends sibling spans from racing goroutines —
+// the scatter-gather shape — and checks nothing is lost.
+func TestConcurrentChildren(t *testing.T) {
+	tr := New(4)
+	root := tr.Start("fanout")
+	var wg sync.WaitGroup
+	const n = 16
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child("shard")
+			c.SetAttr("k", "v")
+			c.AddCounter("n", 1)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	td := tr.Traces()[0]
+	if len(td.Spans) != n+1 {
+		t.Fatalf("got %d spans, want %d", len(td.Spans), n+1)
+	}
+	rd, _ := td.Root()
+	if got := len(td.ChildrenOf(rd.SpanID)); got != n {
+		t.Fatalf("root has %d children, want %d", got, n)
+	}
+}

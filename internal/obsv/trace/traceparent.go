@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"encoding/hex"
+	"math/rand/v2"
+)
+
+// TraceID identifies one causally-connected request tree, end to end —
+// the same 16 bytes appear on the coordinator's root span, every
+// per-shard RPC span, and the server spans the workers record for those
+// RPCs. The zero value is invalid (the W3C spec reserves it).
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace. The zero value is invalid.
+type SpanID [8]byte
+
+// String returns the 32-char lowercase hex form.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String returns the 16-char lowercase hex form.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// newTraceID returns a random non-zero trace ID. math/rand suffices:
+// trace IDs need collision resistance across a deployment's recent
+// history, not unpredictability.
+func newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		a, b := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * i))
+			id[8+i] = byte(b >> (8 * i))
+		}
+	}
+	return id
+}
+
+// newSpanID returns a random non-zero span ID.
+func newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		a := rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * i))
+		}
+	}
+	return id
+}
+
+// FormatTraceParent renders the W3C trace-context header value
+// (version 00, sampled flag set):
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+func FormatTraceParent(t TraceID, s SpanID) string {
+	buf := make([]byte, 0, 55)
+	buf = append(buf, "00-"...)
+	buf = hex.AppendEncode(buf, t[:])
+	buf = append(buf, '-')
+	buf = hex.AppendEncode(buf, s[:])
+	buf = append(buf, "-01"...)
+	return string(buf)
+}
+
+// ParseTraceParent parses a W3C traceparent header value, returning the
+// trace ID and the caller's span ID. ok is false for anything
+// malformed: wrong field lengths, non-hex bytes, the forbidden version
+// ff, or all-zero IDs. Versions above 00 are accepted as long as the
+// first four fields are well-formed (the spec requires forward
+// compatibility); trailing fields are ignored.
+func ParseTraceParent(h string) (t TraceID, s SpanID, ok bool) {
+	if len(h) < 55 {
+		return t, s, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return t, s, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return t, s, false
+	}
+	ver := h[0:2]
+	if !isHex(ver) || ver == "ff" {
+		return t, s, false
+	}
+	if ver == "00" && len(h) != 55 {
+		return t, s, false
+	}
+	// hex.Decode accepts uppercase; the header grammar does not, so
+	// check case first.
+	if !isHex(h[3:35]) || !isHex(h[36:52]) {
+		return t, s, false
+	}
+	if _, err := hex.Decode(t[:], []byte(h[3:35])); err != nil {
+		return t, s, false
+	}
+	if _, err := hex.Decode(s[:], []byte(h[36:52])); err != nil {
+		return t, s, false
+	}
+	if !isHex(h[53:55]) {
+		return t, s, false
+	}
+	if t.IsZero() || s.IsZero() {
+		return t, s, false
+	}
+	return t, s, true
+}
+
+// isHex reports whether every byte of s is a lowercase hex digit (the
+// header grammar forbids uppercase).
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -16,13 +16,18 @@ package rclient
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"simjoin/internal/obsv/trace"
 )
 
 // Defaults used by New and by zero-valued fields of Client.
@@ -106,6 +111,55 @@ func (c *Client) attemptTimeout() time.Duration {
 	return DefaultAttemptTimeout
 }
 
+// AttemptsError wraps a request failure with the number of attempts the
+// request made before giving up, so callers (the cluster coordinator's
+// logs, shard-error payloads) can report "failed after N attempts"
+// without parsing error strings. Error() delegates to the wrapped
+// error, so existing message matching keeps working.
+type AttemptsError struct {
+	// Attempts is how many tries were made, first attempt included.
+	Attempts int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *AttemptsError) Error() string { return e.Err.Error() }
+func (e *AttemptsError) Unwrap() error { return e.Err }
+
+// Attempts extracts the attempt count from an error chain, 0 when the
+// error does not carry one.
+func Attempts(err error) int {
+	var ae *AttemptsError
+	if errors.As(err, &ae) {
+		return ae.Attempts
+	}
+	return 0
+}
+
+// withAttempts tags err with the attempt count (nil stays nil).
+func withAttempts(attempts int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &AttemptsError{Attempts: attempts, Err: err}
+}
+
+// RequestIDHeader is the correlation header set on every outgoing
+// request. The value is minted once per Do call and reused verbatim by
+// every retry, so a worker's access log shows one ID across a request's
+// attempts.
+const RequestIDHeader = "X-Request-Id"
+
+// newRequestID returns a 16-hex-char correlation ID.
+func newRequestID() string {
+	var b [8]byte
+	v := rand.Uint64()
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // Decision classifies one attempt's outcome.
 type Decision int
 
@@ -182,7 +236,18 @@ func (b cancelBody) Close() error {
 // body. Requests with bodies must have GetBody set (true for requests
 // built by http.NewRequest from a *bytes.Reader and for the package's
 // helpers) or the first retry fails.
+//
+// Every outgoing attempt carries a stable X-Request-Id (minted once per
+// Do call, reused by retries; a caller-set header wins) and — when ctx
+// carries a trace span — a W3C traceparent naming a per-attempt child
+// span, so a flaky fan-out shows up as one shard span with several
+// attempt spans under it. Failures are tagged with the attempt count;
+// extract it with Attempts.
 func (c *Client) Do(ctx context.Context, req *http.Request) (*http.Response, error) {
+	if req.Header.Get(RequestIDHeader) == "" {
+		req.Header.Set(RequestIDHeader, newRequestID())
+	}
+	parent := trace.FromContext(ctx)
 	attempts := c.maxRetries() + 1
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -193,33 +258,46 @@ func (c *Client) Do(ctx context.Context, req *http.Request) (*http.Response, err
 			select {
 			case <-ctx.Done():
 				t.Stop()
-				return nil, fmt.Errorf("rclient: %s %s: %w (last attempt: %w)", req.Method, req.URL, ctx.Err(), lastErr)
+				return nil, withAttempts(attempt, fmt.Errorf("rclient: %s %s: %w (last attempt: %w)", req.Method, req.URL, ctx.Err(), lastErr))
 			case <-t.C:
 			}
 			if req.GetBody != nil {
 				body, err := req.GetBody()
 				if err != nil {
-					return nil, fmt.Errorf("rclient: %s %s: rewinding body: %w", req.Method, req.URL, err)
+					return nil, withAttempts(attempt, fmt.Errorf("rclient: %s %s: rewinding body: %w", req.Method, req.URL, err))
 				}
 				req.Body = body
 			} else if req.Body != nil {
-				return nil, fmt.Errorf("rclient: %s %s: cannot retry request without GetBody: %w", req.Method, req.URL, lastErr)
+				return nil, withAttempts(attempt, fmt.Errorf("rclient: %s %s: cannot retry request without GetBody: %w", req.Method, req.URL, lastErr))
 			}
 		}
-		resp, err := c.attempt(ctx, req)
-		if err != nil && ctx.Err() != nil {
-			// The caller's context ended; the attempt error is noise.
-			return nil, fmt.Errorf("rclient: %s %s: %w", req.Method, req.URL, ctx.Err())
+		asp := parent.Child("rclient.attempt")
+		asp.SetAttr("method", req.Method)
+		asp.SetAttr("url", req.URL.String())
+		asp.AddCounter("attempt", int64(attempt+1))
+		if asp != nil {
+			req.Header.Set("traceparent", asp.TraceParent())
 		}
+		resp, err := c.attempt(ctx, req)
 		status := 0
 		if resp != nil {
 			status = resp.StatusCode
+		}
+		if err != nil {
+			asp.SetAttr("error", err.Error())
+		} else {
+			asp.SetAttr("status", strconv.Itoa(status))
+		}
+		asp.End()
+		if err != nil && ctx.Err() != nil {
+			// The caller's context ended; the attempt error is noise.
+			return nil, withAttempts(attempt+1, fmt.Errorf("rclient: %s %s: %w", req.Method, req.URL, ctx.Err()))
 		}
 		switch Classify(req.Method, status, err, c.RetryPOST) {
 		case Accept:
 			return resp, nil
 		case Fail:
-			return nil, fmt.Errorf("rclient: %s %s: %w", req.Method, req.URL, err)
+			return nil, withAttempts(attempt+1, fmt.Errorf("rclient: %s %s: %w", req.Method, req.URL, err))
 		case Retry:
 			if err != nil {
 				lastErr = err
@@ -231,7 +309,7 @@ func (c *Client) Do(ctx context.Context, req *http.Request) (*http.Response, err
 			}
 		}
 	}
-	return nil, fmt.Errorf("rclient: %s %s: giving up after %d attempts: %w", req.Method, req.URL, attempts, lastErr)
+	return nil, withAttempts(attempts, fmt.Errorf("rclient: %s %s: giving up after %d attempts: %w", req.Method, req.URL, attempts, lastErr))
 }
 
 // attempt runs one try under the per-attempt timeout. On success the

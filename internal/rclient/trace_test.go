@@ -1,0 +1,165 @@
+package rclient
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"simjoin/internal/obsv/trace"
+	"simjoin/internal/rclient/rclienttest"
+)
+
+// headerRecorder captures selected headers from every request a test
+// server receives, in arrival order.
+type headerRecorder struct {
+	mu   sync.Mutex
+	got  []http.Header
+	fail int // first n calls answer 503
+}
+
+func (h *headerRecorder) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h.mu.Lock()
+		h.got = append(h.got, r.Header.Clone())
+		n := len(h.got)
+		h.mu.Unlock()
+		if n <= h.fail {
+			http.Error(w, "injected failure", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}
+}
+
+func (h *headerRecorder) headers() []http.Header {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.got
+}
+
+// TestRequestIDStableAcrossRetries is the satellite contract: one
+// X-Request-Id, minted at the first attempt, repeated verbatim by every
+// retry.
+func TestRequestIDStableAcrossRetries(t *testing.T) {
+	rec := &headerRecorder{fail: 2}
+	ts := httptest.NewServer(rec.handler())
+	defer ts.Close()
+	c := &Client{MaxRetries: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	resp, err := c.Get(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	hs := rec.headers()
+	if len(hs) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(hs))
+	}
+	id := hs[0].Get(RequestIDHeader)
+	if id == "" {
+		t.Fatal("first attempt carried no X-Request-Id")
+	}
+	for i, h := range hs {
+		if h.Get(RequestIDHeader) != id {
+			t.Fatalf("attempt %d X-Request-Id = %q, want %q", i+1, h.Get(RequestIDHeader), id)
+		}
+	}
+}
+
+// TestTraceParentPropagation: with a span in ctx, every attempt carries
+// a traceparent of the same trace, and each attempt appears as a child
+// span of the caller's span.
+func TestTraceParentPropagation(t *testing.T) {
+	rec := &headerRecorder{fail: 1}
+	ts := httptest.NewServer(rec.handler())
+	defer ts.Close()
+	tr := trace.New(4)
+	root := tr.Start("caller")
+	ctx := trace.NewContext(context.Background(), root)
+
+	c := &Client{MaxRetries: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	resp, err := c.Get(ctx, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	root.End()
+
+	hs := rec.headers()
+	if len(hs) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(hs))
+	}
+	wantTrace := root.TraceID()
+	seen := map[string]bool{}
+	for i, h := range hs {
+		tid, sid, ok := trace.ParseTraceParent(h.Get("traceparent"))
+		if !ok {
+			t.Fatalf("attempt %d traceparent %q malformed", i+1, h.Get("traceparent"))
+		}
+		if tid != wantTrace {
+			t.Fatalf("attempt %d trace %s, want %s", i+1, tid, wantTrace)
+		}
+		if seen[sid.String()] {
+			t.Fatalf("attempt %d reused span id %s", i+1, sid)
+		}
+		seen[sid.String()] = true
+	}
+	td := tr.Traces()[0]
+	rd, _ := td.Root()
+	kids := td.ChildrenOf(rd.SpanID)
+	if len(kids) != 2 {
+		t.Fatalf("caller span has %d attempt children, want 2: %+v", len(kids), kids)
+	}
+	if kids[0].Name != "rclient.attempt" || kids[0].Attr("status") != "503" {
+		t.Fatalf("first attempt span = %+v", kids[0])
+	}
+	if kids[1].Attr("status") != "200" {
+		t.Fatalf("second attempt span = %+v", kids[1])
+	}
+}
+
+// TestNoTraceParentWithoutSpan: a bare context adds no traceparent —
+// downstream servers must not inherit phantom parents.
+func TestNoTraceParentWithoutSpan(t *testing.T) {
+	rec := &headerRecorder{}
+	ts := httptest.NewServer(rec.handler())
+	defer ts.Close()
+	resp, err := New().Get(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := rec.headers()[0].Get("traceparent"); got != "" {
+		t.Fatalf("unexpected traceparent %q", got)
+	}
+	if got := rec.headers()[0].Get(RequestIDHeader); got == "" {
+		t.Fatal("X-Request-Id missing without a span — correlation must not depend on tracing")
+	}
+}
+
+// TestAttemptsInErrors: exhausted retries report how many attempts ran.
+func TestAttemptsInErrors(t *testing.T) {
+	srv := rclienttest.New(rclienttest.Config{FailFirst: 100})
+	defer srv.Close()
+	c := &Client{MaxRetries: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	_, err := c.Get(context.Background(), srv.URL)
+	if err == nil {
+		t.Fatal("want error from always-failing server")
+	}
+	if got := Attempts(err); got != 3 {
+		t.Fatalf("Attempts = %d, want 3 (err: %v)", got, err)
+	}
+	// Non-retryable transport failure counts its single attempt too.
+	_, err = (&Client{MaxRetries: 2}).Post(context.Background(), rclienttest.NewDown(), "text/plain", nil)
+	if err == nil {
+		t.Fatal("want error from down server")
+	}
+	if got := Attempts(err); got != 1 {
+		t.Fatalf("Attempts = %d, want 1 (err: %v)", got, err)
+	}
+	if Attempts(nil) != 0 || Attempts(context.Canceled) != 0 {
+		t.Fatal("Attempts must be 0 for nil/foreign errors")
+	}
+}

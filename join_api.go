@@ -14,6 +14,7 @@ import (
 	"simjoin/internal/join"
 	"simjoin/internal/kdtree"
 	"simjoin/internal/obsv"
+	"simjoin/internal/obsv/trace"
 	"simjoin/internal/pairs"
 	"simjoin/internal/rplus"
 	"simjoin/internal/rtree"
@@ -102,6 +103,32 @@ func (o Options) fillStats(algo Algorithm, snap stats.Snapshot, ph *obsv.Phases,
 	}
 }
 
+// finishSpan seals one entry point's span: the resolved algorithm and
+// the run's work counters are recorded, and the engines' phase totals
+// become "build" and "probe" child intervals. The intervals reuse the
+// obsv.Phases seam — the engines already charged those timers, so
+// nothing is instrumented twice. For parallel runs the probe interval's
+// offset is approximate (phases can overlap across goroutines); the
+// durations are exact.
+func finishSpan(sp *trace.Span, algo Algorithm, snap stats.Snapshot, ph *obsv.Phases, pairsEmitted int64) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("algorithm", string(algo))
+	sp.AddCounter("dist_comps", snap.DistComps)
+	sp.AddCounter("candidates", snap.Candidates)
+	sp.AddCounter("node_visits", snap.NodeVisits)
+	sp.AddCounter("pairs_emitted", pairsEmitted)
+	build := ph.Build()
+	if build > 0 {
+		sp.ChildInterval("build", sp.StartTime(), build)
+	}
+	if probe := ph.Probe(); probe > 0 {
+		sp.ChildInterval("probe", sp.StartTime().Add(build), probe)
+	}
+	sp.End()
+}
+
 // SelfJoin reports every unordered pair of points in ds within opt.Eps,
 // each exactly once with I < J.
 func SelfJoin(ds *Dataset, opt Options) (*Result, error) {
@@ -113,6 +140,7 @@ func SelfJoin(ds *Dataset, opt Options) (*Result, error) {
 	iopt := opt.toInternal(&counters, &phases)
 	algo := resolveAlgorithm(ds, opt)
 	impl := registry[algo]
+	sp := opt.Trace.Child("simjoin.SelfJoin")
 
 	watch := stats.Start()
 	if !opt.collect() {
@@ -129,6 +157,7 @@ func SelfJoin(ds *Dataset, opt Options) (*Result, error) {
 		elapsed := watch.Elapsed()
 		snap := counters.Snapshot()
 		opt.fillStats(algo, snap, &phases, sink.N(), elapsed)
+		finishSpan(sp, algo, snap, &phases, sink.N())
 		return countResult(sink.N(), snap, elapsed), nil
 	}
 	var collected []pairs.Pair
@@ -147,6 +176,7 @@ func SelfJoin(ds *Dataset, opt Options) (*Result, error) {
 	elapsed := watch.Elapsed()
 	snap := counters.Snapshot()
 	opt.fillStats(algo, snap, &phases, int64(len(collected)), elapsed)
+	finishSpan(sp, algo, snap, &phases, int64(len(collected)))
 	return buildResult(collected, snap, elapsed, opt), nil
 }
 
@@ -212,6 +242,7 @@ func Join(a, b *Dataset, opt Options) (*Result, error) {
 	iopt := opt.toInternal(&counters, &phases)
 	algo := resolveJoinAlgorithm(a, b, opt)
 	impl := registry[algo]
+	sp := opt.Trace.Child("simjoin.Join")
 	watch := stats.Start()
 	if !opt.collect() {
 		var sink pairs.Counter
@@ -223,6 +254,7 @@ func Join(a, b *Dataset, opt Options) (*Result, error) {
 		elapsed := watch.Elapsed()
 		snap := counters.Snapshot()
 		opt.fillStats(algo, snap, &phases, sink.N(), elapsed)
+		finishSpan(sp, algo, snap, &phases, sink.N())
 		return countResult(sink.N(), snap, elapsed), nil
 	}
 	var collected []pairs.Pair
@@ -238,6 +270,7 @@ func Join(a, b *Dataset, opt Options) (*Result, error) {
 	elapsed := watch.Elapsed()
 	snap := counters.Snapshot()
 	opt.fillStats(algo, snap, &phases, int64(len(collected)), elapsed)
+	finishSpan(sp, algo, snap, &phases, int64(len(collected)))
 	return buildResult(collected, snap, elapsed, opt), nil
 }
 
@@ -266,6 +299,7 @@ func SelfJoinEach(ds *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
 	iopt := opt.toInternal(&counters, &phases)
 	algo := resolveAlgorithm(ds, opt)
 	impl := registry[algo]
+	sp := opt.Trace.Child("simjoin.SelfJoinEach")
 	watch := stats.Start()
 	var n int64
 	deliver := func(i, j int) {
@@ -288,6 +322,7 @@ func SelfJoinEach(ds *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
 	elapsed := watch.Elapsed()
 	snap := counters.Snapshot()
 	opt.fillStats(algo, snap, &phases, n, elapsed)
+	finishSpan(sp, algo, snap, &phases, n)
 	return eachStats(n, snap, elapsed), nil
 }
 
@@ -327,6 +362,7 @@ func JoinEach(a, b *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
 	iopt := opt.toInternal(&counters, &phases)
 	algo := resolveJoinAlgorithm(a, b, opt)
 	impl := registry[algo]
+	sp := opt.Trace.Child("simjoin.JoinEach")
 	watch := stats.Start()
 	var n int64
 	deliver := func(i, j int) {
@@ -343,6 +379,7 @@ func JoinEach(a, b *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
 	elapsed := watch.Elapsed()
 	snap := counters.Snapshot()
 	opt.fillStats(algo, snap, &phases, n, elapsed)
+	finishSpan(sp, algo, snap, &phases, n)
 	return eachStats(n, snap, elapsed), nil
 }
 

@@ -121,6 +121,13 @@ type Options struct {
 	// works on every path — collecting, counting-only and streaming — and
 	// costs a handful of atomic adds per run.
 	Stats *JoinStats
+	// Trace, if non-nil, is the parent span under which the run records
+	// its trace: one child span per entry point, annotated with the
+	// resolved algorithm and the run's work counters, plus "build" and
+	// "probe" child spans derived from the engines' phase timers. nil
+	// (the default) disables tracing at the cost of one pointer check.
+	// See NewTracer.
+	Trace *Span
 }
 
 func (o Options) collect() bool { return o.CollectPairs == nil || *o.CollectPairs }

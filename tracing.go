@@ -1,0 +1,38 @@
+package simjoin
+
+import "simjoin/internal/obsv/trace"
+
+// Tracing follows the same zero-cost-when-off rule as Options.Stats:
+// pass Options.Trace and every public entry point records one child
+// span (named after the entry point) carrying the run's work counters,
+// with "build" and "probe" child spans synthesized from the engines'
+// phase timers. Leave it nil and the feature costs one pointer check.
+//
+// The types are aliases of internal/obsv/trace so the library, the
+// daemons and the CLI share one span model; library users only ever
+// need NewTracer, Tracer.Start and Span.End.
+
+// Tracer mints spans and retains the most recent completed traces in a
+// fixed-capacity ring. Safe for concurrent use; a nil *Tracer is a
+// valid disabled tracer.
+type Tracer = trace.Tracer
+
+// Span is one timed node of a trace. All methods are no-ops on a nil
+// receiver, so a nil Options.Trace disables tracing end to end.
+type Span = trace.Span
+
+// TraceData is one completed trace as retained by a Tracer's ring.
+type TraceData = trace.TraceData
+
+// SpanData is one completed span within a TraceData.
+type SpanData = trace.SpanData
+
+// SpanAttr is one key/value annotation on a completed span.
+type SpanAttr = trace.Attr
+
+// SpanCounter is one integer measurement on a completed span.
+type SpanCounter = trace.Counter
+
+// NewTracer returns a Tracer retaining the last capacity completed
+// traces (a package default when capacity <= 0).
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
