@@ -32,13 +32,15 @@ type coordServer struct {
 	// fanout observes the wall time of each scatter-gather operation
 	// across the fleet, labeled by operation.
 	fanout *obsv.HistogramVec
+	// maxBody bounds request bodies (-max-body-bytes).
+	maxBody int64
 	// debug additionally mounts net/http/pprof under /debug/pprof/.
 	debug bool
 }
 
 func newCoordServer(c *cluster.Coordinator) *coordServer {
 	m := newMetrics()
-	s := &coordServer{c: c, m: m, tracer: trace.New(defaultTraceCapacity)}
+	s := &coordServer{c: c, m: m, maxBody: defaultMaxBodyBytes, tracer: trace.New(defaultTraceCapacity)}
 	s.fanout = m.reg.NewHistogramVec("simjoind_fanout_duration_seconds",
 		"Scatter-gather fan-out latency across the worker fleet by operation.", "op", obsv.LatencyBuckets())
 	// Health of every worker, probed at scrape time: 1 up, 0 down.
@@ -159,7 +161,7 @@ func (s *coordServer) handlePut(w http.ResponseWriter, r *http.Request) {
 		}
 		margin = parsed
 	}
-	pts, ok := decodeUpload(w, r)
+	pts, ok := decodeUpload(w, r, s.maxBody)
 	if !ok {
 		return
 	}
@@ -193,7 +195,7 @@ type coordJoinResponse struct {
 
 func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 	var p joinParams
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&p); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&p); err != nil {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
@@ -280,7 +282,7 @@ func (s *coordServer) streamSelfJoin(w http.ResponseWriter, r *http.Request, p j
 
 func (s *coordServer) handleRange(w http.ResponseWriter, r *http.Request) {
 	var q pointQuery
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&q); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&q); err != nil {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
@@ -304,7 +306,7 @@ func (s *coordServer) handleRange(w http.ResponseWriter, r *http.Request) {
 
 func (s *coordServer) handleKNN(w http.ResponseWriter, r *http.Request) {
 	var q pointQuery
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&q); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&q); err != nil {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}

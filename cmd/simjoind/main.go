@@ -3,7 +3,7 @@
 // Worker mode (the default) owns datasets in memory, uploaded (JSON or
 // CSV) and queried by name:
 //
-//	simjoind -addr :8080 [-load name=path ...]
+//	simjoind -addr :8080 [-data dir] [-load name=path ...]
 //
 //	PUT    /datasets/{name}           {"points": [[…], …]}  (or text/csv body)
 //	GET    /datasets                  list registered datasets
@@ -17,6 +17,13 @@
 //	GET    /metrics                   Prometheus text: per-route counters + latency histograms
 //	GET    /debug/vars                per-route request/error counters (legacy JSON)
 //	GET    /debug/traces              recent request traces as span trees (JSON)
+//
+// -data <dir> makes the datasets durable: every PUT/append/DELETE tees
+// through a snapshot+WAL storage engine (internal/store, see
+// docs/STORE.md) and a restarted worker replays the directory back to
+// its exact pre-crash state. -fsync picks the WAL sync policy (always /
+// never / an interval), -compact-bytes the WAL size that triggers
+// snapshot compaction, and -max-body-bytes the upload size cap.
 //
 // -debug additionally mounts net/http/pprof under /debug/pprof/ in
 // either mode.
@@ -48,6 +55,7 @@ import (
 
 	"simjoin"
 	"simjoin/internal/cluster"
+	"simjoin/internal/store"
 )
 
 // loadFlags collects repeated -load name=path arguments.
@@ -69,21 +77,33 @@ func main() {
 func run(argv []string) int {
 	fs := flag.NewFlagSet("simjoind", flag.ExitOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		workers = fs.String("workers", "", "comma-separated worker base URLs; enables coordinator mode")
-		margin  = fs.Float64("margin", cluster.DefaultMargin, "coordinator: ε-boundary replication width for uploads (max exact self-join eps)")
-		debug   = fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
-		loads   loadFlags
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.String("workers", "", "comma-separated worker base URLs; enables coordinator mode")
+		margin       = fs.Float64("margin", cluster.DefaultMargin, "coordinator: ε-boundary replication width for uploads (max exact self-join eps)")
+		debug        = fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+		dataDir      = fs.String("data", "", "durable storage directory (worker mode); empty = in-memory only")
+		fsyncFlag    = fs.String("fsync", "always", `WAL fsync policy: "always", "never", or an interval like "100ms"`)
+		compactBytes = fs.Int64("compact-bytes", store.DefaultCompactBytes, "WAL size that triggers snapshot compaction (negative disables)")
+		maxBody      = fs.Int64("max-body-bytes", defaultMaxBodyBytes, "largest accepted request body in bytes")
+		loads        loadFlags
 	)
 	fs.Var(&loads, "load", "preload a dataset: name=path (repeatable; worker mode only)")
 	_ = fs.Parse(argv)
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if *maxBody < 1 {
+		logger.Error("-max-body-bytes must be positive", "value", *maxBody)
+		return 2
+	}
 
 	var h http.Handler
 	if *workers != "" {
 		if len(loads) > 0 {
 			logger.Error("-load is not supported in coordinator mode; load data on the workers or upload through the coordinator")
+			return 2
+		}
+		if *dataDir != "" {
+			logger.Error("-data is not supported in coordinator mode; the coordinator is stateless — persist on the workers")
 			return 2
 		}
 		urls, err := parseWorkers(*workers)
@@ -94,12 +114,34 @@ func run(argv []string) int {
 		cs := newCoordServer(cluster.New(urls, *margin, nil))
 		cs.debug = *debug
 		cs.log = logger
+		cs.maxBody = *maxBody
 		h = cs.handler()
 		logger.Info("simjoind coordinating", "workers", len(urls), "addr", *addr, "margin", *margin)
 	} else {
 		srv := newServer()
 		srv.debug = *debug
 		srv.log = logger
+		srv.maxBody = *maxBody
+		if *dataDir != "" {
+			mode, interval, err := store.ParseSync(*fsyncFlag)
+			if err != nil {
+				logger.Error("parsing -fsync", "error", err)
+				return 2
+			}
+			cat, err := store.Open(*dataDir, store.Options{
+				Sync:         mode,
+				SyncInterval: interval,
+				CompactBytes: *compactBytes,
+				Hooks:        storeHooks(srv.m),
+			})
+			if err != nil {
+				logger.Error("opening data directory", "dir", *dataDir, "error", err)
+				return 1
+			}
+			defer cat.Close()
+			srv.attachStore(cat)
+			logRecovery(logger, *dataDir, cat.Recovery())
+		}
 		for _, spec := range loads {
 			name, path, ok := strings.Cut(spec, "=")
 			if !ok {
@@ -111,11 +153,17 @@ func run(argv []string) int {
 				logger.Error("loading dataset", "path", path, "error", err)
 				return 1
 			}
+			if srv.st != nil {
+				if err := srv.st.Put(context.Background(), name, ds.Internal()); err != nil {
+					logger.Error("persisting preloaded dataset", "name", name, "error", err)
+					return 1
+				}
+			}
 			srv.sets[name] = &entry{ds: ds}
 			logger.Info("loaded dataset", "name", name, "points", ds.Len(), "dims", ds.Dims())
 		}
 		h = srv.handler()
-		logger.Info("simjoind listening", "addr", *addr)
+		logger.Info("simjoind listening", "addr", *addr, "data", *dataDir)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -27,6 +27,16 @@ type metrics struct {
 	// shows up in response-size accounting.
 	streamRequests *obsv.CounterVec
 	streamPairs    *obsv.Counter
+
+	// Storage-engine surface (fed by store.Hooks when -data is set; the
+	// series exist either way so dashboards never 404 on the name):
+	// per-operation latency histograms plus fsync/compaction/byte tallies.
+	storeWALAppend   *obsv.Histogram
+	storeSnapshot    *obsv.Histogram
+	storeCompaction  *obsv.Histogram
+	storeWALBytes    *obsv.Counter
+	storeFsyncs      *obsv.Counter
+	storeCompactions *obsv.Counter
 }
 
 func newMetrics() *metrics {
@@ -38,6 +48,13 @@ func newMetrics() *metrics {
 		latency:        reg.NewHistogramVec("simjoind_request_duration_seconds", "HTTP request latency by route.", "route", obsv.LatencyBuckets()),
 		streamRequests: reg.NewCounterVec("simjoind_stream_requests_total", "Requests answered as NDJSON streams by route.", "route"),
 		streamPairs:    reg.NewCounter("simjoind_stream_pairs_total", "Pair lines emitted over NDJSON streams."),
+
+		storeWALAppend:   reg.NewHistogram("simjoind_store_wal_append_seconds", "WAL record write+sync latency.", obsv.LatencyBuckets()),
+		storeSnapshot:    reg.NewHistogram("simjoind_store_snapshot_seconds", "Snapshot file write latency.", obsv.LatencyBuckets()),
+		storeCompaction:  reg.NewHistogram("simjoind_store_compaction_seconds", "WAL-into-snapshot compaction latency.", obsv.LatencyBuckets()),
+		storeWALBytes:    reg.NewCounter("simjoind_store_wal_appended_bytes_total", "Bytes appended to write-ahead logs."),
+		storeFsyncs:      reg.NewCounter("simjoind_store_fsyncs_total", "fsync calls issued by the storage engine."),
+		storeCompactions: reg.NewCounter("simjoind_store_compactions_total", "WAL-into-snapshot compactions completed."),
 	}
 }
 

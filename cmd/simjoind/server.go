@@ -2,7 +2,9 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -11,20 +13,29 @@ import (
 
 	"simjoin"
 	"simjoin/internal/obsv/trace"
+	"simjoin/internal/store"
 )
 
-// maxBodyBytes bounds request bodies; datasets beyond this belong in files
-// loaded at startup, not in request payloads.
-const maxBodyBytes = 64 << 20
+// defaultMaxBodyBytes bounds request bodies unless -max-body-bytes says
+// otherwise; datasets beyond the limit belong in files loaded at startup
+// (-load) or in the durable data directory (-data), not in request
+// payloads.
+const defaultMaxBodyBytes = 64 << 20
 
 // server holds the named datasets and serves join/range/KNN queries over
-// them. All handlers are safe for concurrent use: the catalog is guarded
+// them. All handlers are safe for concurrent use: the registry is guarded
 // by a RWMutex and datasets are immutable once registered (upload replaces
 // wholesale).
 type server struct {
 	mu   sync.RWMutex
 	sets map[string]*entry
 	m    *metrics
+	// st, when non-nil, is the durable storage engine every mutation tees
+	// through; rec is what it replayed at boot (reported by /healthz).
+	st  *store.Catalog
+	rec store.RecoveryInfo
+	// maxBody bounds request bodies (-max-body-bytes).
+	maxBody int64
 	// tracer retains completed request traces for GET /debug/traces;
 	// log, when non-nil, gets one structured access-log line per request.
 	tracer *trace.Tracer
@@ -62,7 +73,9 @@ func (e *entry) index() *simjoin.NeighborIndex {
 
 // appendPoints adds points copy-on-write and invalidates the index. It
 // returns the new length, or an error on a dimensionality mismatch
-// (nothing changes in that case).
+// (nothing changes in that case). The clone reserves capacity for the
+// whole batch up front, so an append costs one bulk copy of the existing
+// points — not a point-by-point rebuild.
 func (e *entry) appendPoints(pts [][]float64) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -71,10 +84,7 @@ func (e *entry) appendPoints(pts [][]float64) (int, error) {
 			return 0, fmt.Errorf("point %d has %d dims, dataset has %d", i, len(p), e.ds.Dims())
 		}
 	}
-	grown := simjoin.NewDataset(e.ds.Dims())
-	for i := 0; i < e.ds.Len(); i++ {
-		grown.Append(e.ds.Point(i))
-	}
+	grown := e.ds.CloneWithCap(len(pts))
 	for _, p := range pts {
 		grown.Append(p)
 	}
@@ -83,11 +93,27 @@ func (e *entry) appendPoints(pts [][]float64) (int, error) {
 	return e.ds.Len(), nil
 }
 
+// appendThrough routes an append through the durable store and adopts
+// the grown dataset it returns, so the in-memory snapshot and the WAL
+// can never disagree on ordering for this dataset.
+func (e *entry) appendThrough(ctx context.Context, st *store.Catalog, name string, pts [][]float64) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	grown, err := st.Append(ctx, name, pts)
+	if err != nil {
+		return 0, err
+	}
+	e.ds = simjoin.WrapDataset(grown)
+	e.nn = nil
+	return e.ds.Len(), nil
+}
+
 func newServer() *server {
 	return &server{
-		sets:   make(map[string]*entry),
-		m:      newMetrics(),
-		tracer: trace.New(defaultTraceCapacity),
+		sets:    make(map[string]*entry),
+		m:       newMetrics(),
+		maxBody: defaultMaxBodyBytes,
+		tracer:  trace.New(defaultTraceCapacity),
 	}
 }
 
@@ -121,7 +147,31 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.sets)
 	s.mu.RUnlock()
-	writeJSON(w, map[string]any{"status": "ok", "datasets": n})
+	out := map[string]any{"status": "ok", "datasets": n}
+	if s.st != nil {
+		out["persistence"] = map[string]any{
+			"enabled":            true,
+			"dir":                s.st.Dir(),
+			"wal_bytes":          s.st.WALBytes(),
+			"recovered_datasets": len(s.rec.Datasets),
+			"replayed_records":   s.rec.Records(),
+			"truncated_tails":    s.rec.TruncatedTails(),
+			"quarantined":        len(s.rec.Quarantined),
+		}
+	}
+	writeJSON(w, out)
+}
+
+// storeStatus maps storage-engine errors onto HTTP statuses: caller
+// mistakes are 4xx, IO failures 500.
+func storeStatus(err error) int {
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		return http.StatusNotFound
+	case errors.As(err, &store.InputError{}):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
 }
 
 // httpError writes a JSON error with the given status.
@@ -172,8 +222,8 @@ type putRequest struct {
 // into a rectangular, non-empty point list, writing the HTTP error
 // itself when the body is unusable. Shared by worker and coordinator
 // upload handlers.
-func decodeUpload(w http.ResponseWriter, r *http.Request) ([][]float64, bool) {
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+func decodeUpload(w http.ResponseWriter, r *http.Request, limit int64) ([][]float64, bool) {
+	body := http.MaxBytesReader(w, r.Body, limit)
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
 		ds, err := simjoin.ReadCSV(body)
 		if err != nil {
@@ -210,11 +260,17 @@ func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "dataset name required")
 		return
 	}
-	pts, ok := decodeUpload(w, r)
+	pts, ok := decodeUpload(w, r, s.maxBody)
 	if !ok {
 		return
 	}
 	ds := simjoin.FromPoints(pts)
+	if s.st != nil {
+		if err := s.st.Put(r.Context(), name, ds.Internal()); err != nil {
+			httpError(w, storeStatus(err), "%v", err)
+			return
+		}
+	}
 	s.mu.Lock()
 	s.sets[name] = &entry{ds: ds}
 	s.mu.Unlock()
@@ -231,6 +287,14 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no dataset %q", name)
 		return
 	}
+	if s.st != nil {
+		if err := s.st.Delete(r.Context(), name); err != nil && !errors.Is(err, store.ErrNotFound) {
+			// The entry is gone from memory but its files remain; surface
+			// the IO failure rather than pretending the delete is durable.
+			httpError(w, storeStatus(err), "%v", err)
+			return
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -244,7 +308,7 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req putRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "parsing JSON: %v", err)
 		return
 	}
@@ -252,10 +316,20 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no points in append")
 		return
 	}
-	n, err := e.appendPoints(req.Points)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+	var n int
+	var err error
+	if s.st != nil {
+		n, err = e.appendThrough(r.Context(), s.st, r.PathValue("name"), req.Points)
+		if err != nil {
+			httpError(w, storeStatus(err), "%v", err)
+			return
+		}
+	} else {
+		n, err = e.appendPoints(req.Points)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
 	}
 	writeJSON(w, datasetInfo{Name: r.PathValue("name"), Len: n, Dims: e.dataset().Dims()})
 }
@@ -358,7 +432,7 @@ func (s *server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var p joinParams
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&p); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&p); err != nil {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
@@ -391,7 +465,7 @@ type twoJoinRequest struct {
 
 func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req twoJoinRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
@@ -452,7 +526,7 @@ func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var q pointQuery
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&q); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&q); err != nil {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
@@ -484,7 +558,7 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var q pointQuery
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&q); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&q); err != nil {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}

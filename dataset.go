@@ -65,5 +65,21 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 	return &Dataset{ds: ds}, nil
 }
 
+// CloneWithCap returns a deep copy with spare capacity for extra more
+// points — the cheap way to grow copy-on-write: clone once, then Append
+// the batch without reallocation.
+func (d *Dataset) CloneWithCap(extra int) *Dataset {
+	return &Dataset{ds: d.ds.CloneWithCap(extra)}
+}
+
 // internal exposes the underlying container to the package.
 func (d *Dataset) internal() *dataset.Dataset { return d.ds }
+
+// Internal returns the underlying container. It exists for sibling
+// packages inside this module (simjoind's storage wiring); importers
+// outside the module cannot name its type.
+func (d *Dataset) Internal() *dataset.Dataset { return d.ds }
+
+// WrapDataset adopts an internal container without copying, the inverse
+// of Internal. Module-internal, like Internal.
+func WrapDataset(ds *dataset.Dataset) *Dataset { return &Dataset{ds: ds} }

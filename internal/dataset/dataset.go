@@ -80,12 +80,32 @@ func (d *Dataset) Append(p []float64) {
 	d.data = append(d.data, p...)
 }
 
+// AppendFlat bulk-copies points stored row-major in flat — one copy for
+// any number of points, where per-point Append would revalidate and grow
+// k times. len(flat) must be a multiple of dims; it panics otherwise.
+func (d *Dataset) AppendFlat(flat []float64) {
+	if len(flat)%d.dims != 0 {
+		panic(fmt.Sprintf("dataset: appending %d floats to %d-dim dataset", len(flat), d.dims))
+	}
+	d.data = append(d.data, flat...)
+}
+
 // Flat returns the underlying row-major buffer. It aliases the dataset.
 func (d *Dataset) Flat() []float64 { return d.data }
 
 // Clone returns a deep copy.
 func (d *Dataset) Clone() *Dataset {
-	c := &Dataset{dims: d.dims, data: make([]float64, len(d.data))}
+	return d.CloneWithCap(0)
+}
+
+// CloneWithCap returns a deep copy with spare capacity for extra more
+// points, so copy-on-write growth (clone + append batch) costs one
+// allocation and one bulk copy instead of rebuilding point by point.
+func (d *Dataset) CloneWithCap(extra int) *Dataset {
+	if extra < 0 {
+		extra = 0
+	}
+	c := &Dataset{dims: d.dims, data: make([]float64, len(d.data), len(d.data)+extra*d.dims)}
 	copy(c.data, d.data)
 	return c
 }

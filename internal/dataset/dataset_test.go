@@ -86,6 +86,44 @@ func TestFromPointsAndFlat(t *testing.T) {
 	}
 }
 
+func TestAppendFlat(t *testing.T) {
+	ds := FromPoints([][]float64{{1, 2}})
+	ds.AppendFlat([]float64{3, 4, 5, 6})
+	if ds.Len() != 3 || ds.Point(2)[1] != 6 {
+		t.Fatalf("after AppendFlat: len=%d flat=%v", ds.Len(), ds.Flat())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("misaligned AppendFlat did not panic")
+		}
+	}()
+	ds.AppendFlat(make([]float64, 3))
+}
+
+func TestCloneWithCapGrowsWithoutRealloc(t *testing.T) {
+	ds := FromPoints([][]float64{{1, 2}, {3, 4}})
+	c := ds.CloneWithCap(5)
+	if !ds.Equal(c) {
+		t.Fatal("CloneWithCap not equal to original")
+	}
+	c.Point(0)[0] = 42
+	if ds.Point(0)[0] == 42 {
+		t.Fatal("CloneWithCap aliases original")
+	}
+	// The headline property: appending the reserved points must not move
+	// the backing array (no O(N) copy per batch).
+	before := &c.Flat()[0]
+	for i := 0; i < 5; i++ {
+		c.Append([]float64{float64(i), float64(i)})
+	}
+	if &c.Flat()[0] != before {
+		t.Fatal("appending within reserved capacity reallocated the data")
+	}
+	if c.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", c.Len())
+	}
+}
+
 func TestCloneIndependence(t *testing.T) {
 	ds := FromPoints([][]float64{{1, 2}, {3, 4}})
 	c := ds.Clone()

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"simjoin/internal/obsv/trace"
+)
+
+// maybeCompact folds d's WAL into a fresh snapshot when it has outgrown
+// the configured threshold. Caller holds d.mu. Compaction failures are
+// deliberately non-fatal to the triggering write — the WAL that just
+// grew is still intact and replayable, so the worst outcome of a failed
+// fold is a longer recovery, not data loss; the next mutation retries.
+func (c *Catalog) maybeCompact(sp *trace.Span, d *dsStore) {
+	limit := c.opt.compactBytes()
+	if limit < 0 || d.walBytes <= limit || d.cur == nil {
+		return
+	}
+	_ = c.compactLocked(sp, d)
+}
+
+// compactLocked rotates d onto a new generation:
+//
+//  1. write snapshot-<gen+1> from the in-memory state (temp+fsync+rename)
+//  2. swap in a fresh WAL whose header names gen+1 (temp+fsync+rename)
+//  3. delete the gen snapshot
+//
+// A crash after (1) leaves both snapshots with the WAL still naming gen:
+// recovery uses the old pair and removes the orphan. A crash after (2)
+// leaves the new pair authoritative and only a stale old snapshot to
+// sweep. There is no point at which the directory is unrecoverable.
+func (c *Catalog) compactLocked(sp *trace.Span, d *dsStore) error {
+	child := sp.Child("store.compact")
+	defer child.End()
+	child.SetAttr("dataset", d.name)
+	child.AddCounter("wal_bytes_before", d.walBytes)
+	start := time.Now()
+
+	newGen := d.gen + 1
+	snapStart := time.Now()
+	size, err := writeSnapshotFile(snapshotPath(d.dir, newGen), d.cur, c.opt.Hooks)
+	if err != nil {
+		child.SetAttr("error", err.Error())
+		return fmt.Errorf("store: writing snapshot for %s: %w", d.name, err)
+	}
+	if c.opt.Hooks.Snapshot != nil {
+		c.opt.Hooks.Snapshot(time.Since(snapStart), int(size))
+	}
+	sn := sp.Child("store.snapshot")
+	sn.AddCounter("bytes", size)
+	sn.End()
+
+	wal, err := createWALFile(filepath.Join(d.dir, walName), newGen, c.opt.Hooks)
+	if err != nil {
+		// The new snapshot is an orphan recovery will sweep; the old
+		// (snapshot, WAL) pair is still the durable truth.
+		os.Remove(snapshotPath(d.dir, newGen))
+		child.SetAttr("error", err.Error())
+		return fmt.Errorf("store: rotating WAL for %s: %w", d.name, err)
+	}
+	d.wal.Close()
+	d.wal = wal
+	c.walBytes.Add(walHdrLen - d.walBytes)
+	d.walBytes = walHdrLen
+	os.Remove(snapshotPath(d.dir, d.gen))
+	d.gen = newGen
+	d.dirty.Store(false)
+	if c.opt.Hooks.Compaction != nil {
+		c.opt.Hooks.Compaction(time.Since(start))
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"simjoin/internal/dataset"
+)
+
+// FuzzReadSnapshot: arbitrary input must never panic and must either
+// error or yield a dataset that round-trips bit-exactly.
+func FuzzReadSnapshot(f *testing.F) {
+	for _, ds := range [][][]float64{
+		{{1, 2}, {3, 4}},
+		{{0.5}},
+		{{1, 2, 3, 4, 5, 6, 7, 8}},
+	} {
+		var buf bytes.Buffer
+		_ = WriteSnapshot(&buf, dataset.FromPoints(ds))
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte("XXXXXXXXXXXXXXXXXXXXXX"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		ds, err := ReadSnapshot(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteSnapshot(&out, ds); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := ReadSnapshot(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		var again bytes.Buffer
+		if err := WriteSnapshot(&again, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), again.Bytes()) {
+			t.Fatal("snapshot round trip changed the data")
+		}
+	})
+}
+
+// FuzzWALReplay: arbitrary WAL images must never panic, and recovery
+// must be idempotent — truncating at validEnd and replaying again yields
+// the same state with no further truncation.
+func FuzzWALReplay(f *testing.F) {
+	base := dataset.FromPoints([][]float64{{0, 0}, {1, 1}})
+	f.Add(buildWAL(0, putPayload(base)))
+	f.Add(buildWAL(3, putPayload(base), appendPayload(2, []float64{5, 5}), deletePayload()))
+	f.Add(append(buildWAL(0, appendPayload(2, []float64{9, 9})), 1, 2, 3))
+	f.Add(encodeWALHeader(7))
+	f.Add([]byte("SJWL"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		res, err := replayWAL(in, nil)
+		if err != nil {
+			return
+		}
+		if res.validEnd < walHdrLen || res.validEnd > int64(len(in)) {
+			t.Fatalf("validEnd %d outside [%d, %d]", res.validEnd, walHdrLen, len(in))
+		}
+		// Replaying the valid prefix alone must succeed cleanly.
+		res2, err := replayWAL(in[:res.validEnd], nil)
+		if err != nil {
+			t.Fatalf("replay of valid prefix failed: %v", err)
+		}
+		if res2.truncated {
+			t.Fatal("valid prefix still reports a torn tail")
+		}
+		if res2.records != res.records {
+			t.Fatalf("prefix replay found %d records, first pass %d", res2.records, res.records)
+		}
+		if (res.state == nil) != (res2.state == nil) {
+			t.Fatal("prefix replay disagrees on final state")
+		}
+		if res.state != nil && !res.state.Equal(res2.state) {
+			t.Fatal("prefix replay produced different data")
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"simjoin/internal/dataset"
+)
+
+// Snapshot file format (all integers little-endian):
+//
+//	"SJSS"           4 bytes  magic
+//	version  uint16  2 bytes  currently 1
+//	dims     uint32  4 bytes
+//	count    uint64  8 bytes
+//	points   count*dims float64
+//	crc      uint32  4 bytes  CRC-32 (IEEE) of every preceding byte
+//
+// The trailer makes truncation and bit rot indistinguishable from a bad
+// write: both fail loudly with ErrChecksum or an unexpected-EOF error
+// instead of yielding a silently short dataset.
+const (
+	snapshotMagic   = "SJSS"
+	snapshotVersion = 1
+	snapshotHdrLen  = 4 + 2 + 4 + 8
+)
+
+// maxSnapshotFloats caps the pre-allocation a snapshot header can demand;
+// the header is untrusted input and growth past the cap is amortized by
+// append (mirrors dataset.ReadBinary).
+const maxSnapshotFloats = 1 << 22
+
+// WriteSnapshot encodes ds in the snapshot format.
+func WriteSnapshot(w io.Writer, ds *dataset.Dataset) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	var hdr [snapshotHdrLen]byte
+	copy(hdr[0:4], snapshotMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], snapshotVersion)
+	binary.LittleEndian.PutUint32(hdr[6:10], uint32(ds.Dims()))
+	binary.LittleEndian.PutUint64(hdr[10:18], uint64(ds.Len()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, v := range ds.Flat() {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(buf[:4], crc.Sum32())
+	_, err := w.Write(buf[:4])
+	return err
+}
+
+// ReadSnapshot decodes a snapshot, refusing mismatched checksums and
+// truncation with precise errors.
+func ReadSnapshot(r io.Reader) (*dataset.Dataset, error) {
+	// Hash exactly the bytes consumed (not through a TeeReader: bufio's
+	// read-ahead would feed the hash bytes past the logical position,
+	// including the trailer itself).
+	crc := crc32.NewIEEE()
+	br := bufio.NewReader(r)
+	var hdr [snapshotHdrLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("store: snapshot truncated in header: %w", err)
+	}
+	crc.Write(hdr[:])
+	if string(hdr[0:4]) != snapshotMagic {
+		return nil, fmt.Errorf("store: bad snapshot magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != snapshotVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d (want %d)", v, snapshotVersion)
+	}
+	dims := int(binary.LittleEndian.Uint32(hdr[6:10]))
+	count := binary.LittleEndian.Uint64(hdr[10:18])
+	if dims < 1 || dims > 1<<20 {
+		return nil, fmt.Errorf("store: implausible snapshot dimensionality %d", dims)
+	}
+	if count > 1<<40 {
+		return nil, fmt.Errorf("store: implausible snapshot point count %d", count)
+	}
+	hint := int(count)
+	if maxHint := maxSnapshotFloats / dims; hint > maxHint {
+		hint = maxHint
+	}
+	ds := dataset.New(dims, hint)
+	flat := make([]float64, 0, hint*dims)
+	raw := make([]byte, 8*dims)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("store: snapshot truncated at point %d of %d: %w", i, count, err)
+		}
+		crc.Write(raw)
+		for k := 0; k < dims; k++ {
+			flat = append(flat, math.Float64frombits(binary.LittleEndian.Uint64(raw[k*8:])))
+		}
+	}
+	ds.AppendFlat(flat)
+	sum := crc.Sum32()
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return nil, fmt.Errorf("store: snapshot truncated in checksum trailer: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != sum {
+		return nil, fmt.Errorf("%w: snapshot trailer %08x, computed %08x", ErrChecksum, got, sum)
+	}
+	return ds, nil
+}
+
+// writeSnapshotFile atomically writes ds as path: temp file in the same
+// directory, fsync, rename, directory fsync. Returns the file size.
+func writeSnapshotFile(path string, ds *dataset.Dataset, hooks Hooks) (int64, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteSnapshot(f, ds); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := fsync(f, hooks); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	size, _ := f.Seek(0, io.SeekEnd)
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return size, syncDir(path, hooks)
+}
+
+// fsync flushes f and charges the hook.
+func fsync(f *os.File, hooks Hooks) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if hooks.Fsync != nil {
+		hooks.Fsync()
+	}
+	return nil
+}
+
+// syncDir fsyncs the directory containing path so a just-renamed file
+// survives power loss. Best effort on platforms that refuse directory
+// fsync.
+func syncDir(path string, hooks Hooks) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return nil // e.g. Windows: directories cannot be fsynced
+	}
+	if hooks.Fsync != nil {
+		hooks.Fsync()
+	}
+	return nil
+}

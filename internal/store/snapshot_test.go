@@ -1,0 +1,86 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"simjoin/internal/dataset"
+)
+
+func testDataset(t *testing.T, n, dims int) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.New(dims, n)
+	for i := 0; i < n; i++ {
+		p := make([]float64, dims)
+		for k := range p {
+			p[k] = float64(i)*0.01 + float64(k)
+		}
+		ds.Append(p)
+	}
+	return ds
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, dims int }{{0, 1}, {1, 3}, {100, 8}, {7, 2}} {
+		ds := testDataset(t, tc.n, tc.dims)
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, ds); err != nil {
+			t.Fatalf("n=%d dims=%d: write: %v", tc.n, tc.dims, err)
+		}
+		back, err := ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatalf("n=%d dims=%d: read: %v", tc.n, tc.dims, err)
+		}
+		if !back.Equal(ds) {
+			t.Fatalf("n=%d dims=%d: round trip changed the data", tc.n, tc.dims)
+		}
+	}
+}
+
+func TestSnapshotChecksumMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, testDataset(t, 10, 4)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one data byte; the trailer no longer matches.
+	raw[snapshotHdrLen+5] ^= 0xff
+	_, err := ReadSnapshot(bytes.NewReader(raw))
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted snapshot: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestSnapshotTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, testDataset(t, 10, 4)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{1, snapshotHdrLen - 1, snapshotHdrLen + 3, len(raw) - 2} {
+		_, err := ReadSnapshot(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d: no error", cut)
+		}
+		if !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("cut at %d: err %q does not mention truncation", cut, err)
+		}
+	}
+}
+
+func TestSnapshotBadMagicAndVersion(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("NOPE....................")); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, testDataset(t, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 99 // version
+	if _, err := ReadSnapshot(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version: err = %v", err)
+	}
+}

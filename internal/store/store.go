@@ -1,0 +1,157 @@
+// Package store is a dependency-free durable storage engine for named
+// datasets. Each dataset lives in its own directory as a versioned binary
+// snapshot plus an append-only write-ahead log:
+//
+//	<dir>/<name>/snapshot-XXXXXXXX.sjds   full dataset image (CRC-trailed)
+//	<dir>/<name>/wal.log                  put/append/delete records since it
+//
+// The WAL header names the snapshot generation it applies on top of, so a
+// crash at any point of the snapshot/WAL rotation leaves exactly one
+// consistent (snapshot, log) pair to recover from. Every record is
+// length-prefixed and CRC-checked; recovery replays the valid prefix and
+// truncates a torn tail instead of failing. A compactor folds a long WAL
+// into a fresh snapshot (write temp + fsync + rename) once the log passes
+// a size threshold.
+//
+// Catalog is the public face: it owns the directory, replays it on Open,
+// and exposes the same put/append/delete verbs simjoind's handlers use.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// SyncMode selects when WAL appends reach stable storage.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs after every WAL record — no acknowledged write is
+	// lost even to power failure. The default.
+	SyncAlways SyncMode = iota
+	// SyncInterval fsyncs dirty logs from a background loop every
+	// Options.SyncInterval — bounded loss on power failure, none on a
+	// process crash.
+	SyncInterval
+	// SyncNever leaves flushing to the OS — process crashes still lose
+	// nothing (writes hit the page cache), power failures may.
+	SyncNever
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncMode(%d)", int(m))
+}
+
+// ParseSync parses a -fsync flag value: "always", "never", or a
+// time.Duration like "100ms" selecting interval mode with that period.
+func ParseSync(s string) (SyncMode, time.Duration, error) {
+	switch s {
+	case "always":
+		return SyncAlways, 0, nil
+	case "never":
+		return SyncNever, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf(`store: bad fsync policy %q (want "always", "never", or a positive duration)`, s)
+	}
+	return SyncInterval, d, nil
+}
+
+// DefaultCompactBytes is the WAL size that triggers compaction when
+// Options.CompactBytes is zero.
+const DefaultCompactBytes = 8 << 20
+
+// DefaultSyncInterval is the flush period interval mode uses when
+// Options.SyncInterval is zero.
+const DefaultSyncInterval = 100 * time.Millisecond
+
+// Hooks are optional observability callbacks; nil fields are skipped.
+// They fire synchronously on the mutating goroutine, so they must be
+// cheap and safe for concurrent use (metric increments, not logging IO).
+type Hooks struct {
+	// WALAppend observes one record write: wall time and encoded bytes.
+	WALAppend func(d time.Duration, bytes int)
+	// Snapshot observes one snapshot write: wall time and file bytes.
+	Snapshot func(d time.Duration, bytes int)
+	// Compaction observes one whole WAL-into-snapshot fold.
+	Compaction func(d time.Duration)
+	// Fsync fires once per fsync issued (WAL, snapshot, or directory).
+	Fsync func()
+}
+
+// Options configures a Catalog. The zero value means: fsync always,
+// DefaultCompactBytes compaction threshold, no hooks.
+type Options struct {
+	Sync         SyncMode
+	SyncInterval time.Duration // interval mode period; DefaultSyncInterval if 0
+	// CompactBytes is the WAL size that triggers folding it into a fresh
+	// snapshot. 0 means DefaultCompactBytes; negative disables compaction.
+	CompactBytes int64
+	Hooks        Hooks
+}
+
+func (o Options) compactBytes() int64 {
+	if o.CompactBytes == 0 {
+		return DefaultCompactBytes
+	}
+	return o.CompactBytes
+}
+
+func (o Options) syncInterval() time.Duration {
+	if o.SyncInterval <= 0 {
+		return DefaultSyncInterval
+	}
+	return o.SyncInterval
+}
+
+// InputError marks a caller mistake (bad name, dimensionality mismatch,
+// unknown dataset) as opposed to an IO failure, so HTTP layers can map
+// it to a 4xx.
+type InputError struct{ msg string }
+
+func (e InputError) Error() string { return e.msg }
+
+func inputErrf(format string, args ...any) error {
+	return InputError{msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrNotFound is wrapped by Append/Delete on an unknown dataset.
+var ErrNotFound = errors.New("store: no such dataset")
+
+// ErrChecksum is wrapped by the snapshot and WAL decoders on a CRC
+// mismatch.
+var ErrChecksum = errors.New("store: checksum mismatch")
+
+// maxName bounds dataset names; they double as directory names.
+const maxName = 128
+
+// ValidateName reports whether name is usable as a dataset directory:
+// 1–128 chars drawn from [A-Za-z0-9._-], not starting with a dot (which
+// also rules out "." and ".." traversal).
+func ValidateName(name string) error {
+	if name == "" || len(name) > maxName {
+		return inputErrf("store: dataset name must be 1–%d characters, got %d", maxName, len(name))
+	}
+	if name[0] == '.' {
+		return inputErrf("store: dataset name %q may not start with a dot", name)
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return inputErrf("store: dataset name %q contains %q; allowed: letters, digits, '.', '_', '-'", name, r)
+		}
+	}
+	return nil
+}
