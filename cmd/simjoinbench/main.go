@@ -4,7 +4,9 @@
 //
 // The suite is fixed — self-join and two-set join, dimensionality 8 and
 // 16, serial and Workers=NumCPU, collecting and streaming — over seeded
-// synthetic clustered data, so every run measures the same work.
+// synthetic clustered data, so every run measures the same work. Two
+// live-engine cases ride along: incremental Range+Insert of a 64-point
+// batch against a standing index versus a full rebuild plus re-probe.
 //
 //	simjoinbench [-quick] [-out BENCH_2006-01-02.json]
 //	simjoinbench -quick -baseline bench/BENCH_xxx.json [-threshold 0.2]
@@ -214,6 +216,130 @@ func run(sp spec, quick bool) (Case, error) {
 	}, nil
 }
 
+// runLive measures the two maintenance strategies behind the live
+// matching engine, pinned at dimensionality 8 and a 64-point batch:
+//
+//	live/d8/append64  — Range + Insert per appended point on a standing
+//	                    index (what internal/live does on every batch)
+//	live/d8/rebuild64 — rebuild the index over the grown dataset, then
+//	                    re-probe the batch (what polling would cost)
+//
+// The delta-pair discovery work is the same in both; only the index
+// maintenance differs, so the ratio is the price of NOT having the
+// incremental path.
+func runLive(quick bool) ([]Case, error) {
+	const dims, appendN = 8, 64
+	n, _, _, eps := sizes(dims, quick)
+	full, err := simjoin.Synthetic("clustered", n, dims, 12)
+	if err != nil {
+		return nil, err
+	}
+	base := simjoin.NewDataset(dims)
+	for i := 0; i < n-appendN; i++ {
+		base.Append(full.Point(i))
+	}
+	tail := make([][]float64, appendN)
+	for i := range tail {
+		tail[i] = full.Point(n - appendN + i)
+	}
+
+	var runErr error
+	var pairsSeen int64
+	probe := func(idx *simjoin.Index, insert bool) {
+		for _, p := range tail {
+			hits, err := idx.Range(p, simjoin.L2, eps)
+			if err != nil {
+				runErr = err
+				return
+			}
+			pairsSeen += int64(len(hits))
+			if insert {
+				if _, err := idx.Insert(p); err != nil {
+					runErr = err
+					return
+				}
+			}
+		}
+	}
+	seed := func() *simjoin.Index {
+		idx, err := simjoin.NewIndex(base.CloneWithCap(appendN), eps, simjoin.Options{})
+		if err != nil {
+			runErr = err
+		}
+		return idx
+	}
+
+	benches := []struct {
+		name  string
+		bench func(b *testing.B)
+	}{
+		{"live/d8/append64", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				idx := seed()
+				if runErr != nil {
+					return
+				}
+				b.StartTimer()
+				probe(idx, true)
+			}
+		}},
+		{"live/d8/rebuild64", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				idx, err := simjoin.NewIndex(full, eps, simjoin.Options{})
+				if err != nil {
+					runErr = err
+					return
+				}
+				probe(idx, false)
+			}
+		}},
+	}
+	var out []Case
+	for _, bc := range benches {
+		// One untimed pass for the per-op pair count the report carries.
+		pairsSeen = 0
+		if bc.name == "live/d8/append64" {
+			probe(seed(), true)
+		} else {
+			idx, err := simjoin.NewIndex(full, eps, simjoin.Options{})
+			if err != nil {
+				return nil, err
+			}
+			probe(idx, false)
+		}
+		if runErr != nil {
+			return nil, fmt.Errorf("%s: %w", bc.name, runErr)
+		}
+		snapshot := pairsSeen
+		if snapshot == 0 {
+			return nil, fmt.Errorf("%s: degenerate benchmark, no pairs at eps %g", bc.name, eps)
+		}
+		var r testing.BenchmarkResult
+		best := math.Inf(1)
+		for rep := 0; rep < benchRepeats; rep++ {
+			res := testing.Benchmark(bc.bench)
+			if runErr != nil {
+				return nil, fmt.Errorf("%s: %w", bc.name, runErr)
+			}
+			if ns := float64(res.T.Nanoseconds()) / float64(res.N); ns < best {
+				best, r = ns, res
+			}
+		}
+		out = append(out, Case{
+			Name:        bc.name,
+			Iterations:  r.N,
+			NsPerOp:     best,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Pairs:       snapshot,
+		})
+	}
+	return out, nil
+}
+
 // compare gates next against base: any case whose ns/op grew by more
 // than threshold (fraction, e.g. 0.2 = +20%) is a regression. It returns
 // the number of regressions after printing a per-case table.
@@ -313,6 +439,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "simjoinbench:", err)
 			os.Exit(2)
 		}
+		fmt.Printf("%-28s %12.0f ns/op  %8d allocs/op  %10d pairs\n", c.Name, c.NsPerOp, c.AllocsPerOp, c.Pairs)
+		report.Cases = append(report.Cases, c)
+	}
+	liveCases, err := runLive(*quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simjoinbench:", err)
+		os.Exit(2)
+	}
+	for _, c := range liveCases {
 		fmt.Printf("%-28s %12.0f ns/op  %8d allocs/op  %10d pairs\n", c.Name, c.NsPerOp, c.AllocsPerOp, c.Pairs)
 		report.Cases = append(report.Cases, c)
 	}

@@ -258,9 +258,18 @@ func TestClusterErrorPaths(t *testing.T) {
 	if resp.StatusCode != http.StatusNotImplemented {
 		t.Fatalf("/join in coordinator mode: %d", resp.StatusCode)
 	}
-	resp, _ = doJSON(t, http.MethodPost, coord.URL+"/datasets/d/points", map[string]any{"points": [][]float64{{1, 2}}})
-	if resp.StatusCode != http.StatusNotImplemented {
+	// Appends are distributed now: the batch routes to its shards and
+	// the reported length grows.
+	resp, appended := doJSON(t, http.MethodPost, coord.URL+"/datasets/d/points", map[string]any{"points": [][]float64{{1, 2}}})
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("append in coordinator mode: %d", resp.StatusCode)
+	}
+	if n, _ := appended["len"].(float64); n < 2 {
+		t.Fatalf("appended len = %v, want growth", appended["len"])
+	}
+	resp, _ = doJSON(t, http.MethodPost, coord.URL+"/datasets/missing/points", map[string]any{"points": [][]float64{{1, 2}}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("append to missing dataset: %d", resp.StatusCode)
 	}
 	// Deleting through the coordinator clears every worker.
 	req, _ := http.NewRequest(http.MethodDelete, coord.URL+"/datasets/d", nil)

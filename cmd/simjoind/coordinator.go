@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"simjoin/internal/cluster"
@@ -36,11 +37,29 @@ type coordServer struct {
 	maxBody int64
 	// debug additionally mounts net/http/pprof under /debug/pprof/.
 	debug bool
+
+	// stopWatches closes when graceful shutdown begins, ending every
+	// standing-query watch stream with a terminal event so the HTTP
+	// drain is not held open; stopOnce makes shutdownWatches reentrant.
+	stopWatches chan struct{}
+	stopOnce    sync.Once
+
+	// watchMu guards watches, the active standing-query count per
+	// dataset (reported by GET /datasets/{name}).
+	watchMu sync.Mutex
+	watches map[string]int
 }
 
 func newCoordServer(c *cluster.Coordinator) *coordServer {
 	m := newMetrics()
-	s := &coordServer{c: c, m: m, maxBody: defaultMaxBodyBytes, tracer: trace.New(defaultTraceCapacity)}
+	s := &coordServer{
+		c: c, m: m, maxBody: defaultMaxBodyBytes, tracer: trace.New(defaultTraceCapacity),
+		stopWatches: make(chan struct{}),
+		watches:     make(map[string]int),
+	}
+	m.reg.NewGaugeFunc("simjoind_live_subscriptions",
+		"Standing-query subscriptions currently active.",
+		func() float64 { return float64(s.watchTotal()) })
 	s.fanout = m.reg.NewHistogramVec("simjoind_fanout_duration_seconds",
 		"Scatter-gather fan-out latency across the worker fleet by operation.", "op", obsv.LatencyBuckets())
 	// Health of every worker, probed at scrape time: 1 up, 0 down.
@@ -84,12 +103,14 @@ func (s *coordServer) handler() http.Handler {
 	}
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /datasets", s.handleList)
+	handle("GET /datasets/{name}", s.handleGetDataset)
 	handle("PUT /datasets/{name}", s.handlePut)
 	handle("DELETE /datasets/{name}", s.handleDelete)
 	handle("POST /datasets/{name}/selfjoin", s.handleSelfJoin)
 	handle("POST /datasets/{name}/range", s.handleRange)
 	handle("POST /datasets/{name}/knn", s.handleKNN)
-	handle("POST /datasets/{name}/points", unsupported("appending points"))
+	handle("POST /datasets/{name}/points", s.handleAppend)
+	handle("POST /datasets/{name}/watch", s.handleWatch)
 	handle("POST /join", unsupported("two-set joins"))
 	mux.Handle("GET /metrics", s.m.promHandler())
 	mux.HandleFunc("GET /debug/vars", s.m.varsHandler)

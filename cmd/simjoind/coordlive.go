@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"simjoin/internal/cluster"
+	"simjoin/internal/live"
+	"simjoin/internal/vec"
+)
+
+// handleAppend distributes POST /datasets/{name}/points: the batch is
+// routed to its shards under the original cuts and appended on each
+// worker, which in turn feeds every standing query watching the
+// dataset. The response is the worker shape plus the cluster
+// degradation fields.
+func (s *coordServer) handleAppend(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	pts, ok := decodeUpload(w, r, s.maxBody)
+	if !ok {
+		return
+	}
+	defer s.observeFanout("append", time.Now())
+	res, err := s.c.Append(r.Context(), name, pts)
+	if err != nil {
+		coordError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"name":          res.Info.Name,
+		"len":           res.Info.Len,
+		"dims":          res.Info.Dims,
+		"partial":       res.Partial,
+		"failed_shards": res.Failed,
+	})
+}
+
+// handleGetDataset answers GET /datasets/{name} from the shard map: the
+// dataset's global shape, how it is spread over the fleet, and how many
+// standing queries are watching it through this coordinator.
+func (s *coordServer) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sm, ok := s.c.Map(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	replicas := 0
+	for _, sh := range sm.Shards {
+		replicas += len(sh.Global)
+	}
+	writeJSON(w, map[string]any{
+		"name":    name,
+		"len":     sm.Total,
+		"dims":    sm.Dims,
+		"margin":  sm.Margin,
+		"shards":  len(sm.Shards),
+		"stored":  replicas,
+		"watches": s.watchCount(name),
+	})
+}
+
+// addWatch / removeWatch / watchCount maintain the per-dataset tally of
+// standing queries flowing through this coordinator.
+func (s *coordServer) addWatch(name string) {
+	s.watchMu.Lock()
+	s.watches[name]++
+	s.watchMu.Unlock()
+}
+
+func (s *coordServer) removeWatch(name string) {
+	s.watchMu.Lock()
+	if s.watches[name]--; s.watches[name] <= 0 {
+		delete(s.watches, name)
+	}
+	s.watchMu.Unlock()
+}
+
+func (s *coordServer) watchCount(name string) int {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	return s.watches[name]
+}
+
+// watchTotal is the active standing-query count across all datasets,
+// for the coordinator's live-subscription gauge.
+func (s *coordServer) watchTotal() int {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	n := 0
+	for _, c := range s.watches {
+		n += c
+	}
+	return n
+}
+
+// shutdownWatches ends every standing-query stream with a terminal
+// "server shutting down" event, so graceful shutdown is not held open
+// by long-lived watches. Safe to call more than once.
+func (s *coordServer) shutdownWatches() {
+	s.stopOnce.Do(func() { close(s.stopWatches) })
+}
+
+// handleWatch serves the coordinator's POST /datasets/{name}/watch: the
+// same NDJSON contract as a worker, but over global upload-order
+// indexes, fed by one watch stream per shard (see cluster.Watch).
+// Self-join only; "after" supports exactly the two coordinator cursors
+// — omitted (live: pairs created from now on) and 0 (full replay first)
+// — because finer-grained resume lives on the workers, which the
+// coordinator reconnects to with their own cursors automatically.
+func (s *coordServer) handleWatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req watchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	if req.Other != "" {
+		httpError(w, http.StatusNotImplemented, "two-set watches not supported in coordinator mode")
+		return
+	}
+	if req.After != nil && *req.After != 0 {
+		httpError(w, http.StatusBadRequest, `coordinator watches support "after" omitted (live) or 0 (full replay), got %d`, *req.After)
+		return
+	}
+	fromStart := req.After != nil
+	metric := vec.L2
+	if req.Metric != "" {
+		var err error
+		if metric, err = vec.ParseMetric(req.Metric); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	// Validate everything cluster.Watch would reject before committing
+	// to a streaming 200.
+	sm, ok := s.c.Map(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	if !(req.Eps > 0) {
+		httpError(w, http.StatusBadRequest, "eps must be positive")
+		return
+	}
+	if req.Eps > sm.Margin {
+		httpError(w, http.StatusBadRequest, "eps %g exceeds the dataset's shard margin %g; re-upload with a larger margin", req.Eps, sm.Margin)
+		return
+	}
+
+	s.m.streamRequests.With("POST /datasets/{name}/watch").Inc()
+	s.addWatch(name)
+	defer s.removeWatch(name)
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		select {
+		case <-s.stopWatches:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriter(w)
+	rc := http.NewResponseController(w)
+	flush := func() error {
+		_ = rc.SetWriteDeadline(time.Now().Add(watchWriteTimeout))
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return rc.Flush()
+	}
+	if !writeEventLine(bw, map[string]any{
+		"event": "hello", "dataset": name, "seq": sm.Total,
+		"eps": req.Eps, "metric": metric.String(),
+	}) || flush() != nil {
+		return
+	}
+	reason, err := s.c.Watch(ctx, name, cluster.JoinQuery{Eps: req.Eps, Metric: req.Metric}, fromStart, func(ev cluster.WatchEvent) bool {
+		for _, p := range ev.Pairs {
+			fmt.Fprintf(bw, "[%d,%d]\n", p[0], p[1])
+		}
+		s.m.streamPairs.Add(int64(len(ev.Pairs)))
+		marker := map[string]any{
+			"event": "batch", "shard": ev.Shard, "seq": ev.Seq,
+			"added": ev.Added, "pairs": len(ev.Pairs),
+		}
+		if ev.CatchUp {
+			marker["catch_up"] = true
+		}
+		return writeEventLine(bw, marker) && flush() == nil
+	})
+	if err != nil {
+		var nfe cluster.NotFoundError
+		switch {
+		case errors.As(err, &nfe):
+			// The dataset vanished between the pre-check and the watch.
+			reason = live.ReasonDeleted
+		case errors.Is(err, context.Canceled):
+			select {
+			case <-s.stopWatches:
+				reason = live.ReasonShutdown
+			default:
+				// The client went away; nobody is reading an end event.
+				return
+			}
+		default:
+			return
+		}
+	}
+	if reason != "" {
+		writeEventLine(bw, map[string]any{"event": "end", "reason": reason})
+		_ = flush()
+	}
+}

@@ -1,0 +1,333 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"simjoin/internal/cluster"
+	"simjoin/internal/rclient"
+	"simjoin/internal/store"
+)
+
+// liveWorker is a real worker on a fixed listener with a durable store,
+// so tests can hard-kill it and bring it back on the same address — the
+// cluster-mode analogue of the single-node restart tests.
+type liveWorker struct {
+	t    *testing.T
+	dir  string
+	addr string
+	ts   *httptest.Server
+}
+
+func (w *liveWorker) start(addr string) {
+	w.t.Helper()
+	srv := newServer()
+	cat, err := store.Open(w.dir, store.Options{Sync: store.SyncAlways, Hooks: storeHooks(srv.m)})
+	if err != nil {
+		w.t.Fatalf("store.Open(%s): %v", w.dir, err)
+	}
+	srv.attachStore(cat)
+	var l net.Listener
+	for i := 0; ; i++ {
+		if l, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		// The previous incarnation's port can linger briefly after a kill.
+		if i > 200 {
+			w.t.Fatalf("listen %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	w.ts = &httptest.Server{Listener: l, Config: &http.Server{Handler: srv.handler()}}
+	w.ts.Start()
+	w.addr = l.Addr().String()
+}
+
+// kill severs every open connection and stops the listener without
+// closing the store catalog — a crash, from the data's point of view.
+func (w *liveWorker) kill() {
+	w.ts.CloseClientConnections()
+	w.ts.Close()
+}
+
+// restart recovers the worker from its WAL on the original address.
+func (w *liveWorker) restart() {
+	w.start(w.addr)
+	w.t.Cleanup(w.ts.Close)
+}
+
+// startLiveCluster boots n durable restartable workers and a coordinator
+// over them, returning the coordinator server object as well so tests
+// can drive its shutdown path directly.
+func startLiveCluster(t *testing.T, n int, margin float64) (*httptest.Server, *coordServer, []*liveWorker) {
+	t.Helper()
+	workers := make([]*liveWorker, n)
+	urls := make([]string, n)
+	for i := range workers {
+		w := &liveWorker{t: t, dir: t.TempDir()}
+		w.start("127.0.0.1:0")
+		t.Cleanup(func() { w.ts.Close() })
+		workers[i] = w
+		urls[i] = w.ts.URL
+	}
+	rc := &rclient.Client{
+		MaxRetries:     2,
+		BaseDelay:      2 * time.Millisecond,
+		MaxDelay:       10 * time.Millisecond,
+		AttemptTimeout: 10 * time.Second,
+		RetryPOST:      true,
+	}
+	cs := newCoordServer(cluster.New(urls, margin, rc))
+	coord := httptest.NewServer(cs.handler())
+	t.Cleanup(coord.Close)
+	return coord, cs, workers
+}
+
+// collectDistinct consumes stream events until got holds at least n
+// distinct pairs. Premature end events and stream errors fail the test;
+// a missing pair shows up as the next() timeout.
+func (ws *watchStream) collectDistinct(got map[[2]int]int, n int) {
+	ws.t.Helper()
+	for len(got) < n {
+		ev := ws.next()
+		switch {
+		case ev.err != nil:
+			ws.t.Fatalf("watch stream broke: %v", ev.err)
+		case ev.pair != nil:
+			got[*ev.pair]++
+		case ev.obj["event"] == "end":
+			ws.t.Fatalf("watch ended early: %v", ev.obj)
+		}
+	}
+}
+
+// waitWorkerSubs polls worker metadata until every worker holding name
+// reports a live subscription — i.e. the coordinator's per-shard watch
+// streams are established and no subsequent append can be missed.
+func waitWorkerSubs(t *testing.T, workerURLs []string, name string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ready := true
+		for _, wu := range workerURLs {
+			resp, body := doJSON(t, http.MethodGet, wu+"/datasets/"+name, nil)
+			if resp.StatusCode == http.StatusNotFound {
+				continue
+			}
+			lv, _ := body["live"].(map[string]any)
+			if subs, _ := lv["subscriptions"].(float64); subs < 1 {
+				ready = false
+			}
+		}
+		if ready {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator watch streams never reached the workers")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCoordWatchFromStartMatchesOracle is the coordinator-mode
+// acceptance path: a full-replay standing query over real workers must
+// deliver, across catch-up and live appends, exactly the brute-force
+// pair set of the final dataset in global upload order.
+func TestCoordWatchFromStartMatchesOracle(t *testing.T) {
+	const eps = 0.15
+	coord, workers := startCluster(t, 3, 0.35)
+	_ = workers
+	pts := livePoints(120, 4, 50)
+	putPoints(t, coord.URL, "d", pts)
+
+	ws := openWatch(t, coord.URL, "d", map[string]any{"eps": eps, "after": 0}, 0)
+	defer ws.close()
+	hello := ws.hello()
+	if seq, _ := hello["seq"].(float64); int(seq) != 120 {
+		t.Fatalf("hello seq = %v, want 120", hello["seq"])
+	}
+	got := make(map[[2]int]int)
+	ws.collectDistinct(got, len(oraclePairs(pts, eps)))
+
+	batch := livePoints(60, 4, 51)
+	pts = append(pts, batch...)
+	appendPointsHTTP(t, coord.URL, "d", batch)
+	want := oraclePairs(pts, eps)
+	if len(want) == 0 {
+		t.Fatal("oracle found no pairs — test parameters are vacuous")
+	}
+	ws.collectDistinct(got, len(want))
+	checkPairSet(t, got, want, false)
+
+	// Coordinator metadata: global shape plus the standing-query tally.
+	resp, meta := doJSON(t, http.MethodGet, coord.URL+"/datasets/d", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET dataset: %d %v", resp.StatusCode, meta)
+	}
+	if n, _ := meta["len"].(float64); int(n) != len(pts) {
+		t.Fatalf("metadata len = %v, want %d", meta["len"], len(pts))
+	}
+	if stored, _ := meta["stored"].(float64); int(stored) < len(pts) {
+		t.Fatalf("metadata stored = %v, want >= %d (margin replication)", meta["stored"], len(pts))
+	}
+	if wn, _ := meta["watches"].(float64); int(wn) != 1 {
+		t.Fatalf("metadata watches = %v, want 1", meta["watches"])
+	}
+
+	// DELETE through the coordinator ends the stream with a terminal
+	// event, same contract as a worker.
+	req, _ := http.NewRequest(http.MethodDelete, coord.URL+"/datasets/d", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if reason := ws.waitEnd(); reason != "dataset deleted" {
+		t.Fatalf("end reason = %q, want %q", reason, "dataset deleted")
+	}
+}
+
+// TestCoordWatchLiveOnlyNewPairs subscribes without a cursor: only
+// pairs created by appends after the per-shard streams are up may
+// arrive, and all of them must.
+func TestCoordWatchLiveOnlyNewPairs(t *testing.T) {
+	const eps = 0.15
+	coord, workers := startCluster(t, 2, 0.35)
+	pts := livePoints(100, 4, 60)
+	putPoints(t, coord.URL, "d", pts)
+	base := oraclePairs(pts, eps)
+
+	ws := openWatch(t, coord.URL, "d", map[string]any{"eps": eps}, 0)
+	defer ws.close()
+	ws.hello()
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.URL
+	}
+	waitWorkerSubs(t, urls, "d")
+
+	batch := livePoints(50, 4, 61)
+	pts = append(pts, batch...)
+	appendPointsHTTP(t, coord.URL, "d", batch)
+
+	want := make(map[[2]int]bool)
+	for p := range oraclePairs(pts, eps) {
+		if !base[p] {
+			want[p] = true
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("append created no new pairs — test parameters are vacuous")
+	}
+	got := make(map[[2]int]int)
+	ws.collectDistinct(got, len(want))
+	checkPairSet(t, got, want, false)
+}
+
+// TestCoordWatchAcrossWorkerRestart is the durability acceptance test in
+// coordinator mode: hard-kill a worker under a standing query, bring it
+// back on the same address from its WAL, and the watcher's union must
+// still converge to the brute-force oracle over the final dataset.
+func TestCoordWatchAcrossWorkerRestart(t *testing.T) {
+	const eps = 0.15
+	coord, _, workers := startLiveCluster(t, 2, 0.35)
+	pts := livePoints(80, 4, 70)
+	putPoints(t, coord.URL, "d", pts)
+
+	ws := openWatch(t, coord.URL, "d", map[string]any{"eps": eps, "after": 0}, 0)
+	defer ws.close()
+	ws.hello()
+	got := make(map[[2]int]int)
+	ws.collectDistinct(got, len(oraclePairs(pts, eps)))
+
+	batch := livePoints(40, 4, 71)
+	pts = append(pts, batch...)
+	appendPointsHTTP(t, coord.URL, "d", batch)
+	ws.collectDistinct(got, len(oraclePairs(pts, eps)))
+
+	// Crash worker 0 mid-watch; the coordinator's shard stream starts
+	// its reconnect loop. Recovery replays the WAL, so the resumed
+	// stream picks up from the coordinator's acknowledged cursor.
+	workers[0].kill()
+	workers[0].restart()
+
+	tail := livePoints(30, 4, 72)
+	pts = append(pts, tail...)
+	appendPointsHTTP(t, coord.URL, "d", tail)
+
+	want := oraclePairs(pts, eps)
+	ws.collectDistinct(got, len(want))
+	// Reconnect replays any batch that was in flight at the kill, so
+	// delivery is at-least-once here.
+	checkPairSet(t, got, want, true)
+
+	resp, meta := doJSON(t, http.MethodGet, coord.URL+"/datasets/d", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET dataset after restart: %d %v", resp.StatusCode, meta)
+	}
+	if n, _ := meta["len"].(float64); int(n) != len(pts) {
+		t.Fatalf("metadata len = %v, want %d", meta["len"], len(pts))
+	}
+}
+
+// TestCoordWatchShutdown drains standing queries with a terminal event
+// when the coordinator shuts down, instead of hanging up on them.
+func TestCoordWatchShutdown(t *testing.T) {
+	coord, cs, _ := startLiveCluster(t, 2, 0.35)
+	putPoints(t, coord.URL, "d", livePoints(40, 3, 80))
+
+	ws := openWatch(t, coord.URL, "d", map[string]any{"eps": 0.1}, 0)
+	defer ws.close()
+	ws.hello()
+	cs.shutdownWatches()
+	if reason := ws.waitEnd(); reason != "server shutting down" {
+		t.Fatalf("end reason = %q, want %q", reason, "server shutting down")
+	}
+}
+
+// TestCoordWatchValidation covers the coordinator watch endpoint's
+// rejection paths, including the coordinator-specific cursor and
+// two-set restrictions.
+func TestCoordWatchValidation(t *testing.T) {
+	coord, _ := startCluster(t, 2, 0.2)
+	putPoints(t, coord.URL, "d", clusterPoints(40, 2, 90))
+
+	openWatch(t, coord.URL, "missing", map[string]any{"eps": 0.1}, http.StatusNotFound)
+	openWatch(t, coord.URL, "d", map[string]any{"eps": 0.0}, http.StatusBadRequest)
+	openWatch(t, coord.URL, "d", map[string]any{"eps": 0.9}, http.StatusBadRequest) // beyond margin
+	openWatch(t, coord.URL, "d", map[string]any{"eps": 0.1, "metric": "cosine"}, http.StatusBadRequest)
+	openWatch(t, coord.URL, "d", map[string]any{"eps": 0.1, "after": 5}, http.StatusBadRequest)
+	openWatch(t, coord.URL, "d", map[string]any{"eps": 0.1, "other": "d"}, http.StatusNotImplemented)
+}
+
+// TestCoordAppendThenSelfJoinMatchesOracle checks the append path end to
+// end through real workers: after two appends, a distributed self-join
+// over the grown dataset equals brute force.
+func TestCoordAppendThenSelfJoinMatchesOracle(t *testing.T) {
+	const eps = 0.2
+	coord, _ := startCluster(t, 3, 0.35)
+	pts := livePoints(100, 4, 95)
+	putPoints(t, coord.URL, "d", pts)
+	for _, n := range []int{50, 30} {
+		batch := livePoints(n, 4, int64(100+n))
+		pts = append(pts, batch...)
+		appendPointsHTTP(t, coord.URL, "d", batch)
+	}
+
+	got := selfJoinPairs(t, coord.URL, "d", eps)
+	want := oraclePairs(pts, eps)
+	if len(want) == 0 {
+		t.Fatal("oracle found no pairs — test parameters are vacuous")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("selfjoin after appends = %d pairs, oracle = %d", len(got), len(want))
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Fatalf("selfjoin returned pair %v not in the oracle set", p)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"simjoin/internal/live"
+	"simjoin/internal/vec"
+)
+
+// liveHooks feeds the live engine's observability callbacks into the
+// server's live_* metric series.
+func liveHooks(m *metrics) live.Hooks {
+	return live.Hooks{
+		Append: func(d time.Duration, points int) { m.liveAppend.Observe(d.Seconds()) },
+		Batch: func(pairs int) {
+			m.liveBatches.Inc()
+			m.liveDeltaPairs.Add(int64(pairs))
+		},
+		CatchUp:    func(pairs int) { m.liveCatchupPairs.Add(int64(pairs)) },
+		Subscribed: func() { m.liveSubscribed.Inc() },
+		Evicted:    func() { m.liveEvictions.Inc() },
+	}
+}
+
+// watchRequest is the POST /datasets/{name}/watch body: the standing
+// query plus the reconnect cursors.
+type watchRequest struct {
+	Eps    float64 `json:"eps"`
+	Metric string  `json:"metric"`
+	// Other turns the self-join into a two-set standing query; pairs are
+	// ({name}-index, other-index).
+	Other string `json:"other"`
+	// After / AfterOther are replay cursors (dataset lengths from earlier
+	// batch events): everything past them is re-delivered in one catch-up
+	// batch before live delivery. Omitted = subscribe from now;
+	// 0 = replay from the beginning.
+	After      *int `json:"after"`
+	AfterOther *int `json:"after_other"`
+	// Buffer is the subscriber's mailbox depth in batch events; falling
+	// further behind than this gets the stream evicted (0 = default).
+	Buffer int `json:"buffer"`
+}
+
+// watchWriteTimeout bounds each write+flush to the subscriber, so a
+// stalled client cannot pin the handler goroutine past eviction.
+const watchWriteTimeout = 30 * time.Second
+
+// liveError maps engine errors onto HTTP statuses.
+func liveError(w http.ResponseWriter, err error) {
+	switch err.(type) {
+	case live.UnknownDatasetError:
+		httpError(w, http.StatusNotFound, "%v", err)
+	case live.QueryError:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleWatch registers a standing query and streams its delta batches
+// as NDJSON until the client disconnects, the dataset goes away, the
+// subscriber falls too far behind, or the server shuts down:
+//
+//	{"event":"hello","dataset":…,"seq":…}      stream opened
+//	[i,j]                                      one new pair
+//	{"event":"batch","seq":…,"added":…,…}      batch delimiter + resume cursor
+//	{"event":"end","reason":…}                 terminal event
+func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.get(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	var req watchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	metric := vec.L2
+	if req.Metric != "" {
+		var err error
+		if metric, err = vec.ParseMetric(req.Metric); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if !(req.Eps > 0) {
+		httpError(w, http.StatusBadRequest, "eps must be positive")
+		return
+	}
+	var other *entry
+	if req.Other != "" {
+		if other, ok = s.get(req.Other); !ok {
+			httpError(w, http.StatusNotFound, "no dataset %q", req.Other)
+			return
+		}
+	}
+	// Seed live tracking under each entry's lock (never both at once), so
+	// the mirrors start at snapshots consistent with the append
+	// notifications that follow.
+	e.seedLive(s.live, name, req.Eps)
+	if other != nil {
+		other.seedLive(s.live, req.Other, req.Eps)
+	}
+	sub, err := s.live.Subscribe(
+		live.Query{Dataset: name, Other: req.Other, Eps: req.Eps, Metric: metric},
+		live.Options{Buffer: req.Buffer, After: req.After, AfterOther: req.AfterOther},
+	)
+	if err != nil {
+		liveError(w, err)
+		return
+	}
+	defer s.live.Unsubscribe(sub.ID())
+
+	s.m.streamRequests.With("POST /datasets/{name}/watch").Inc()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriter(w)
+	rc := http.NewResponseController(w)
+	flush := func() error {
+		_ = rc.SetWriteDeadline(time.Now().Add(watchWriteTimeout))
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return rc.Flush()
+	}
+	hello := map[string]any{
+		"event": "hello", "dataset": name, "seq": sub.BaseSeq(),
+		"eps": req.Eps, "metric": metric.String(),
+	}
+	if req.Other != "" {
+		hello["other"] = req.Other
+		hello["seq_other"] = sub.BaseSeqOther()
+	}
+	if !writeEventLine(bw, hello) || flush() != nil {
+		return
+	}
+	for {
+		select {
+		case ev, chOpen := <-sub.Events():
+			if !chOpen {
+				writeEventLine(bw, map[string]any{"event": "end", "reason": sub.Reason()})
+				_ = flush()
+				return
+			}
+			for _, p := range ev.Pairs {
+				fmt.Fprintf(bw, "[%d,%d]\n", p[0], p[1])
+			}
+			s.m.streamPairs.Add(int64(len(ev.Pairs)))
+			marker := map[string]any{
+				"event": "batch", "seq": ev.Seq, "added": ev.Added, "pairs": len(ev.Pairs),
+			}
+			if req.Other != "" {
+				marker["seq_other"] = ev.SeqOther
+			}
+			if ev.CatchUp {
+				marker["catch_up"] = true
+			}
+			if !writeEventLine(bw, marker) || flush() != nil {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeEventLine renders one NDJSON event object.
+func writeEventLine(bw *bufio.Writer, v any) bool {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return false
+	}
+	bw.Write(line)
+	return bw.WriteByte('\n') == nil
+}
+
+// handleGetDataset answers GET /datasets/{name}: the dataset's shape
+// plus its durable footprint and live-engine state — the single-dataset
+// introspection the aggregate list can't give.
+func (s *server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.get(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	ds := e.dataset()
+	out := map[string]any{
+		"name": name,
+		"len":  ds.Len(),
+		"dims": ds.Dims(),
+		"live": s.live.Stats(name),
+	}
+	if s.st != nil {
+		if wb, ok := s.st.DatasetWALBytes(name); ok {
+			out["wal_bytes"] = wb
+		}
+	}
+	writeJSON(w, out)
+}

@@ -7,11 +7,13 @@
 //
 //	PUT    /datasets/{name}           {"points": [[…], …]}  (or text/csv body)
 //	GET    /datasets                  list registered datasets
+//	GET    /datasets/{name}           shape, live-engine state, WAL footprint
 //	DELETE /datasets/{name}
 //	POST   /datasets/{name}/points    {"points": [[…], …]}  append
 //	POST   /datasets/{name}/selfjoin  {"eps":0.1,"metric":"L2","algorithm":"ekdb"}
 //	POST   /datasets/{name}/range     {"point":[…],"radius":0.1}
 //	POST   /datasets/{name}/knn       {"point":[…],"k":5}
+//	POST   /datasets/{name}/watch     standing query: NDJSON delta stream (docs/LIVE.md)
 //	POST   /join                      {"a":"x","b":"y","eps":0.1}
 //	GET    /healthz                   liveness + dataset count
 //	GET    /metrics                   Prometheus text: per-route counters + latency histograms
@@ -97,6 +99,10 @@ func run(argv []string) int {
 	}
 
 	var h http.Handler
+	// onStop runs at the start of graceful shutdown, before the HTTP
+	// drain: it terminates long-lived watch streams with a terminal
+	// NDJSON event so the drain isn't held open by standing queries.
+	var onStop func()
 	if *workers != "" {
 		if len(loads) > 0 {
 			logger.Error("-load is not supported in coordinator mode; load data on the workers or upload through the coordinator")
@@ -116,6 +122,7 @@ func run(argv []string) int {
 		cs.log = logger
 		cs.maxBody = *maxBody
 		h = cs.handler()
+		onStop = cs.shutdownWatches
 		logger.Info("simjoind coordinating", "workers", len(urls), "addr", *addr, "margin", *margin)
 	} else {
 		srv := newServer()
@@ -163,12 +170,13 @@ func run(argv []string) int {
 			logger.Info("loaded dataset", "name", name, "points", ds.Len(), "dims", ds.Dims())
 		}
 		h = srv.handler()
+		onStop = srv.live.Shutdown
 		logger.Info("simjoind listening", "addr", *addr, "data", *dataDir)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serve(ctx, *addr, h); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := serve(ctx, *addr, h, onStop); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("server failed", "error", err)
 		return 1
 	}
@@ -192,8 +200,10 @@ func parseWorkers(s string) ([]string, error) {
 }
 
 // serve runs a hardened http.Server until ctx is cancelled (SIGINT or
-// SIGTERM), then drains in-flight requests before returning.
-func serve(ctx context.Context, addr string, h http.Handler) error {
+// SIGTERM), then drains in-flight requests before returning. onStop,
+// when non-nil, runs first so long-lived streams (standing-query
+// watches) terminate cleanly instead of blocking the drain.
+func serve(ctx context.Context, addr string, h http.Handler, onStop func()) error {
 	hs := &http.Server{
 		Addr:              addr,
 		Handler:           h,
@@ -207,6 +217,9 @@ func serve(ctx context.Context, addr string, h http.Handler) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		if onStop != nil {
+			onStop()
+		}
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return hs.Shutdown(sctx)

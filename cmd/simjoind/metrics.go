@@ -37,6 +37,16 @@ type metrics struct {
 	storeWALBytes    *obsv.Counter
 	storeFsyncs      *obsv.Counter
 	storeCompactions *obsv.Counter
+
+	// Live matching engine surface (fed by live.Hooks; an active-
+	// subscription gauge is registered per mode where the engine lives):
+	// standing-query churn, delta volume, and index mutation latency.
+	liveSubscribed   *obsv.Counter
+	liveEvictions    *obsv.Counter
+	liveBatches      *obsv.Counter
+	liveDeltaPairs   *obsv.Counter
+	liveCatchupPairs *obsv.Counter
+	liveAppend       *obsv.Histogram
 }
 
 func newMetrics() *metrics {
@@ -55,6 +65,13 @@ func newMetrics() *metrics {
 		storeWALBytes:    reg.NewCounter("simjoind_store_wal_appended_bytes_total", "Bytes appended to write-ahead logs."),
 		storeFsyncs:      reg.NewCounter("simjoind_store_fsyncs_total", "fsync calls issued by the storage engine."),
 		storeCompactions: reg.NewCounter("simjoind_store_compactions_total", "WAL-into-snapshot compactions completed."),
+
+		liveSubscribed:   reg.NewCounter("simjoind_live_subscriptions_total", "Standing-query subscriptions registered."),
+		liveEvictions:    reg.NewCounter("simjoind_live_evictions_total", "Subscriptions evicted as slow consumers."),
+		liveBatches:      reg.NewCounter("simjoind_live_batches_total", "Batch events delivered to subscribers."),
+		liveDeltaPairs:   reg.NewCounter("simjoind_live_delta_pairs_total", "Delta pairs delivered to subscribers."),
+		liveCatchupPairs: reg.NewCounter("simjoind_live_catchup_pairs_total", "Pairs re-derived by catch-up replays."),
+		liveAppend:       reg.NewHistogram("simjoind_live_append_seconds", "Incremental index mutation latency per appended batch (delta compute + insert).", obsv.LatencyBuckets()),
 	}
 }
 
@@ -85,6 +102,11 @@ func (w *statusWriter) Flush() {
 		f.Flush()
 	}
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// optional interfaces (SetWriteDeadline, used by watch streams) through
+// the middleware.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // wrap counts every request and every ≥ 400 response under key, and
 // observes the handler's wall time in the route's latency histogram.

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"simjoin"
+	"simjoin/internal/live"
 	"simjoin/internal/obsv/trace"
 	"simjoin/internal/store"
 )
@@ -40,6 +41,9 @@ type server struct {
 	// log, when non-nil, gets one structured access-log line per request.
 	tracer *trace.Tracer
 	log    *slog.Logger
+	// live is the continuous-query engine: incremental per-dataset
+	// indexes plus the standing-query subscriptions watch streams serve.
+	live *live.Engine
 	// debug additionally mounts net/http/pprof under /debug/pprof/.
 	debug bool
 }
@@ -75,8 +79,11 @@ func (e *entry) index() *simjoin.NeighborIndex {
 // returns the new length, or an error on a dimensionality mismatch
 // (nothing changes in that case). The clone reserves capacity for the
 // whole batch up front, so an append costs one bulk copy of the existing
-// points — not a point-by-point rebuild.
-func (e *entry) appendPoints(pts [][]float64) (int, error) {
+// points — not a point-by-point rebuild. notify, when non-nil, runs
+// under the entry lock after a successful append with the batch and the
+// new length — the same lock live tracking seeds under, so the engine
+// sees every batch exactly once and in order.
+func (e *entry) appendPoints(pts [][]float64, notify func(pts [][]float64, total int)) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for i, p := range pts {
@@ -90,13 +97,17 @@ func (e *entry) appendPoints(pts [][]float64) (int, error) {
 	}
 	e.ds = grown
 	e.nn = nil
+	if notify != nil {
+		notify(pts, e.ds.Len())
+	}
 	return e.ds.Len(), nil
 }
 
 // appendThrough routes an append through the durable store and adopts
 // the grown dataset it returns, so the in-memory snapshot and the WAL
-// can never disagree on ordering for this dataset.
-func (e *entry) appendThrough(ctx context.Context, st *store.Catalog, name string, pts [][]float64) (int, error) {
+// can never disagree on ordering for this dataset. notify has the
+// appendPoints contract and fires only after the store committed.
+func (e *entry) appendThrough(ctx context.Context, st *store.Catalog, name string, pts [][]float64, notify func(pts [][]float64, total int)) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	grown, err := st.Append(ctx, name, pts)
@@ -105,16 +116,35 @@ func (e *entry) appendThrough(ctx context.Context, st *store.Catalog, name strin
 	}
 	e.ds = simjoin.WrapDataset(grown)
 	e.nn = nil
+	if notify != nil {
+		notify(pts, e.ds.Len())
+	}
 	return e.ds.Len(), nil
 }
 
+// seedLive registers the entry's current snapshot with the live engine.
+// Holding the entry lock across the snapshot + Track pair means no
+// append can slip between them: the mirror starts exactly at this
+// snapshot and the append notifications (which run under the same lock)
+// carry everything after it.
+func (e *entry) seedLive(eng *live.Engine, name string, eps float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	eng.Track(name, e.ds.Internal(), eps)
+}
+
 func newServer() *server {
-	return &server{
+	s := &server{
 		sets:    make(map[string]*entry),
 		m:       newMetrics(),
 		maxBody: defaultMaxBodyBytes,
 		tracer:  trace.New(defaultTraceCapacity),
 	}
+	s.live = live.New(liveHooks(s.m))
+	s.m.reg.NewGaugeFunc("simjoind_live_subscriptions",
+		"Standing-query subscriptions currently active.",
+		func() float64 { return float64(s.live.Subscriptions()) })
+	return s
 }
 
 // handler wires up the routes, each wrapped in the tracing + access-log +
@@ -127,9 +157,11 @@ func (s *server) handler() http.Handler {
 	}
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /datasets", s.handleList)
+	handle("GET /datasets/{name}", s.handleGetDataset)
 	handle("PUT /datasets/{name}", s.handlePut)
 	handle("DELETE /datasets/{name}", s.handleDelete)
 	handle("POST /datasets/{name}/points", s.handleAppend)
+	handle("POST /datasets/{name}/watch", s.handleWatch)
 	handle("POST /datasets/{name}/selfjoin", s.handleSelfJoin)
 	handle("POST /datasets/{name}/range", s.handleRange)
 	handle("POST /datasets/{name}/knn", s.handleKNN)
@@ -272,8 +304,15 @@ func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Lock()
+	_, replaced := s.sets[name]
 	s.sets[name] = &entry{ds: ds}
 	s.mu.Unlock()
+	if replaced {
+		// Standing queries were registered against the old incarnation's
+		// indexes; end their streams cleanly rather than silently
+		// switching datasets under them.
+		s.live.Drop(name, live.ReasonReplaced)
+	}
 	writeJSON(w, datasetInfo{Name: name, Len: ds.Len(), Dims: ds.Dims()})
 }
 
@@ -287,6 +326,10 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no dataset %q", name)
 		return
 	}
+	// In-flight watch streams for this dataset end with a terminal
+	// {"event":"end","reason":"dataset deleted"} line, not a dropped
+	// connection.
+	s.live.Drop(name, live.ReasonDeleted)
 	if s.st != nil {
 		if err := s.st.Delete(r.Context(), name); err != nil && !errors.Is(err, store.ErrNotFound) {
 			// The entry is gone from memory but its files remain; surface
@@ -316,22 +359,26 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no points in append")
 		return
 	}
+	name := r.PathValue("name")
+	notify := func(pts [][]float64, total int) {
+		s.live.Append(r.Context(), name, pts, total)
+	}
 	var n int
 	var err error
 	if s.st != nil {
-		n, err = e.appendThrough(r.Context(), s.st, r.PathValue("name"), req.Points)
+		n, err = e.appendThrough(r.Context(), s.st, name, req.Points, notify)
 		if err != nil {
 			httpError(w, storeStatus(err), "%v", err)
 			return
 		}
 	} else {
-		n, err = e.appendPoints(req.Points)
+		n, err = e.appendPoints(req.Points, notify)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
-	writeJSON(w, datasetInfo{Name: r.PathValue("name"), Len: n, Dims: e.dataset().Dims()})
+	writeJSON(w, datasetInfo{Name: name, Len: n, Dims: e.dataset().Dims()})
 }
 
 // joinParams is the shared query shape for self- and two-set joins.

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+)
+
+// AppendResult describes a distributed append. Failed lists shards that
+// did not durably receive their slice of the batch; the shard map is
+// swapped in regardless (degraded, not rolled back), so queries against
+// a failed shard simply miss those points until the worker recovers —
+// retrying the append would double-register the points everywhere else.
+type AppendResult struct {
+	Info    Info
+	Partial bool
+	Failed  []ShardError
+}
+
+// Append routes pts — numbered after the dataset's current points — to
+// their shards under the original cuts and replication margin, growing
+// each worker's slice in place through POST /points (or creating it
+// with PUT on a shard that was empty until now). The successor shard
+// map is registered before any worker is contacted, so standing-query
+// watchers can translate the new points' local indexes the moment a
+// worker starts delivering them.
+func (c *Coordinator) Append(ctx context.Context, name string, pts [][]float64) (*AppendResult, error) {
+	if len(pts) == 0 {
+		return nil, QueryError{Msg: "no points in append"}
+	}
+	// One extend at a time: concurrent extends of the same base map
+	// would hand out overlapping global indexes.
+	c.apMu.Lock()
+	defer c.apMu.Unlock()
+	old, ok := c.Map(name)
+	if !ok {
+		return nil, NotFoundError{Name: name}
+	}
+	for i, p := range pts {
+		if len(p) != old.Dims {
+			return nil, queryErrorf("point %d has %d dims, dataset has %d", i, len(p), old.Dims)
+		}
+	}
+	sm, shardPts := old.extend(pts)
+	c.mu.Lock()
+	c.sets[name] = sm
+	c.mu.Unlock()
+
+	targets := make([]int, 0, len(sm.Shards))
+	for s := range sm.Shards {
+		if len(shardPts[s]) > 0 {
+			targets = append(targets, s)
+		}
+	}
+	failed := c.scatter(ctx, "append", sm, targets, func(ctx context.Context, s int) error {
+		body, err := json.Marshal(map[string]any{"points": shardPts[s]})
+		if err != nil {
+			return err
+		}
+		url := c.datasetURL(sm, s, name)
+		if len(old.Shards[s].Global) == 0 {
+			// The shard held nothing before this batch, so the worker has
+			// no dataset to append to: create it.
+			resp, err := c.rc.Put(ctx, url, "application/json", body)
+			if err != nil {
+				return err
+			}
+			return drainResponse(resp, nil)
+		}
+		resp, err := c.rc.Post(ctx, url+"/points", "application/json", body)
+		if err != nil {
+			return err
+		}
+		return drainResponse(resp, nil)
+	})
+	return &AppendResult{
+		Info:    Info{Name: name, Len: sm.Total, Dims: sm.Dims},
+		Partial: len(failed) > 0,
+		Failed:  failed,
+	}, nil
+}

@@ -31,6 +31,11 @@ type Coordinator struct {
 
 	mu   sync.RWMutex
 	sets map[string]*ShardMap
+
+	// apMu serializes appends: each append extends the dataset's shard
+	// map copy-on-write from its predecessor, so two concurrent extends
+	// of the same base map would assign overlapping global indexes.
+	apMu sync.Mutex
 }
 
 // New builds a Coordinator over the given worker base URLs. margin ≤ 0
@@ -323,6 +328,11 @@ func (c *Coordinator) KNN(ctx context.Context, name string, point []float64, k i
 		}
 		mu.Lock()
 		for _, n := range out.Neighbors {
+			// Skip points the worker gained after this query's map
+			// snapshot (see indexSet.addLocal).
+			if n.Index < 0 || n.Index >= len(sm.Shards[s].Global) {
+				continue
+			}
 			merged.add(sm.Shards[s].Global[n.Index], n.Dist)
 		}
 		mu.Unlock()

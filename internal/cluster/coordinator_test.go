@@ -23,6 +23,20 @@ type fakeWorker struct {
 	mu            sync.Mutex
 	sets          map[string][][]float64
 	failSelfJoins int // inject: fail this many selfjoin calls with 503
+	// change closes (and is replaced) on every dataset mutation, waking
+	// watch streams; watchConns counts the streams currently attached.
+	// endAfterBatch injects worker churn: every watch stream ends itself
+	// after one delivered batch, forcing the coordinator to reconnect
+	// with its cursor.
+	change        chan struct{}
+	watchConns    int
+	endAfterBatch bool
+}
+
+// bump wakes every watch stream; call with mu held.
+func (f *fakeWorker) bump() {
+	close(f.change)
+	f.change = make(chan struct{})
 }
 
 func l2(a, b []float64) float64 {
@@ -50,15 +64,42 @@ func (f *fakeWorker) handler() http.Handler {
 		}
 		f.mu.Lock()
 		f.sets[r.PathValue("name")] = req.Points
+		f.bump()
 		f.mu.Unlock()
 		json.NewEncoder(w).Encode(map[string]any{"len": len(req.Points)})
 	})
 	mux.HandleFunc("DELETE /datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
 		f.mu.Lock()
 		delete(f.sets, r.PathValue("name"))
+		f.bump()
 		f.mu.Unlock()
 		w.WriteHeader(http.StatusNoContent)
 	})
+	mux.HandleFunc("POST /datasets/{name}/points", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Points [][]float64 `json:"points"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Points) == 0 {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": "bad append"})
+			return
+		}
+		name := r.PathValue("name")
+		f.mu.Lock()
+		pts, ok := f.sets[name]
+		if !ok {
+			f.mu.Unlock()
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"error": "no dataset"})
+			return
+		}
+		f.sets[name] = append(pts, req.Points...)
+		n := len(f.sets[name])
+		f.bump()
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{"len": n})
+	})
+	mux.HandleFunc("POST /datasets/{name}/watch", f.handleWatch)
 	mux.HandleFunc("POST /datasets/{name}/selfjoin", func(w http.ResponseWriter, r *http.Request) {
 		f.mu.Lock()
 		if f.failSelfJoins > 0 {
@@ -145,7 +186,7 @@ func newTestCluster(t *testing.T, k int, margin float64) (*Coordinator, []*httpt
 	fakes := make([]*fakeWorker, k)
 	urls := make([]string, k)
 	for i := 0; i < k; i++ {
-		fakes[i] = &fakeWorker{sets: make(map[string][][]float64)}
+		fakes[i] = &fakeWorker{sets: make(map[string][][]float64), change: make(chan struct{})}
 		servers[i] = httptest.NewServer(fakes[i].handler())
 		urls[i] = servers[i].URL
 		t.Cleanup(servers[i].Close)

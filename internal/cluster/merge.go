@@ -8,6 +8,13 @@ type indexSet map[int]struct{}
 
 func (is indexSet) addLocal(local []int, global []int) {
 	for _, l := range local {
+		// A worker can briefly hold more points than the shard map the
+		// query was routed with (an append landed after the map snapshot
+		// was taken); those extra points have no global identity under
+		// this map, so skip them rather than fault.
+		if l < 0 || l >= len(global) {
+			continue
+		}
 		is[global[l]] = struct{}{}
 	}
 }

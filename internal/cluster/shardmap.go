@@ -23,7 +23,9 @@ package cluster
 import "sort"
 
 // ShardMap records how one dataset was partitioned across the workers.
-// It is immutable once built.
+// A built map is immutable; appends extend a dataset by building a
+// successor map copy-on-write (see extend) and swapping it in, so
+// readers holding the old map keep a consistent snapshot.
 type ShardMap struct {
 	// Dims is the dataset dimensionality.
 	Dims int
@@ -115,6 +117,47 @@ func widestDim(pts [][]float64) int {
 		}
 	}
 	return best
+}
+
+// extend returns a successor map that also routes pts — numbered
+// m.Total onward — to their shards with the same cut/replication rules
+// Partition used, plus the per-shard point batches to send. The
+// receiver is not modified: Cuts stay shared (they never change after
+// upload), Global tables are copied before growing. Appended points
+// always route through the original cuts, so slabs can grow imbalanced
+// over time; rebalancing means re-uploading.
+func (m *ShardMap) extend(pts [][]float64) (*ShardMap, [][][]float64) {
+	n := &ShardMap{
+		Dims:   m.Dims,
+		Dim:    m.Dim,
+		Cuts:   m.Cuts,
+		Margin: m.Margin,
+		Total:  m.Total + len(pts),
+		Shards: make([]Shard, len(m.Shards)),
+	}
+	for s, sh := range m.Shards {
+		g := make([]int, len(sh.Global), len(sh.Global)+len(pts))
+		copy(g, sh.Global)
+		n.Shards[s] = Shard{URL: sh.URL, Global: g}
+	}
+	shardPts := make([][][]float64, len(m.Shards))
+	add := func(s, g int, p []float64) {
+		n.Shards[s].Global = append(n.Shards[s].Global, g)
+		shardPts[s] = append(shardPts[s], p)
+	}
+	for k, p := range pts {
+		g := m.Total + k
+		x := p[n.Dim]
+		s := n.ShardOf(x)
+		add(s, g, p)
+		for t := s - 1; t >= 0; t-- {
+			if x >= n.Cuts[t]+n.Margin {
+				break
+			}
+			add(t, g, p)
+		}
+	}
+	return n, shardPts
 }
 
 // ShardOf returns the shard owning a point with routing coordinate x.

@@ -71,8 +71,14 @@ func (c *Coordinator) SelfJoinEach(ctx context.Context, name string, q JoinQuery
 		sink := funnel.Handle()
 		global := sm.Shards[s].Global
 		return c.streamShardSelfJoin(ctx, sm, s, name, q, func(p [2]int) error {
-			if p[0] < 0 || p[0] >= len(global) || p[1] < 0 || p[1] >= len(global) {
-				return fmt.Errorf("pair %v outside shard's %d points", p, len(global))
+			if p[0] < 0 || p[1] < 0 {
+				return fmt.Errorf("negative pair %v from shard", p)
+			}
+			// Points past the map snapshot (appended after this query's
+			// map was taken) have no global identity yet: skip the pair;
+			// the next query, routed with the successor map, will see it.
+			if p[0] >= len(global) || p[1] >= len(global) {
+				return nil
 			}
 			gi, gj := global[p[0]], global[p[1]]
 			if gi > gj {

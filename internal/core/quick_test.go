@@ -114,6 +114,67 @@ func TestQuickInsertDeleteConsistency(t *testing.T) {
 	}
 }
 
+// TestQuickGrowDeleteMatchesBatchRebuild: a tree seeded from a prefix
+// and grown point by point through the dynamic insert path — with
+// deletes interleaved into the growth — answers joins exactly like a
+// batch build over the alive subset. This is the live-engine usage
+// pattern: the index is seeded once and never rebuilt as the dataset
+// grows, even when appended points land outside the seed frame.
+func TestQuickGrowDeleteMatchesBatchRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg, tcfg, eps, metric := quickCase(seed)
+		full := synth.Generate(cfg)
+		if full.Len() < 4 {
+			return true
+		}
+		prefix := 1 + rng.Intn(full.Len()-1)
+		ds := full.Head(prefix).Clone()
+		tr := Build(ds, eps, tcfg)
+
+		alive := make([]bool, full.Len())
+		for i := 0; i < prefix; i++ {
+			alive[i] = true
+		}
+		for i := prefix; i < full.Len(); i++ {
+			ds.Append(full.Point(i))
+			tr.Insert(i)
+			alive[i] = true
+			if rng.Intn(3) == 0 {
+				j := rng.Intn(i + 1)
+				if alive[j] {
+					if !tr.Delete(j) {
+						return false
+					}
+					alive[j] = false
+				}
+			}
+		}
+		var keep []int
+		for i, a := range alive {
+			if a {
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) < 2 {
+			return true
+		}
+		opt := join.Options{Metric: metric, Eps: eps}
+		got := &pairs.Collector{Canonical: true}
+		tr.SelfJoin(opt, got)
+		subPairs := &pairs.Collector{Canonical: true}
+		brute.SelfJoin(full.Subset(keep), opt, subPairs)
+		want := &pairs.Collector{Canonical: true}
+		for _, p := range subPairs.Pairs {
+			want.Emit(keep[p.I], keep[p.J])
+		}
+		return pairs.Equal(got.Sorted(), want.Sorted())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestQuickSmallerEpsIsSubset: shrinking the query ε can only shrink the
 // result set (monotonicity of the multi-ε query path).
 func TestQuickSmallerEpsIsSubset(t *testing.T) {

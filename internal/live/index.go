@@ -1,0 +1,97 @@
+package live
+
+import (
+	"simjoin/internal/core"
+	"simjoin/internal/dataset"
+	"simjoin/internal/vec"
+)
+
+// Index is the long-lived incremental ε-kdB tree behind one tracked
+// dataset: a growable mirror of the points plus a tree built for the
+// largest ε any standing query needs. Appends route new points down the
+// existing stripe grid (core.Tree.Insert) instead of rebuilding; only a
+// *raised* ε forces a one-time rebuild, because the stripe grid is sized
+// to the ε it was built for.
+//
+// The mirror owns its storage: the engine clones the seed dataset, so
+// later copy-on-write swaps in the serving layer never alias it.
+type Index struct {
+	ds   *dataset.Dataset
+	eps  float64
+	tree *core.Tree
+}
+
+// fallbackEps sizes the stripe grid when a dataset is tracked before
+// any standing query names its ε (the hint is 0). The first Subscribe
+// raises it through EnsureEps if the query needs more.
+const fallbackEps = 0.1
+
+// newIndex clones seed and builds the stripe grid for eps. An empty seed
+// gets a unit frame so the first insert has a grid to route through
+// (points outside any frame clamp into the edge stripes — a selectivity
+// cost, never a correctness one). A non-positive eps falls back to
+// fallbackEps: the tree needs some stripe width, and queries only ever
+// shrink relative to it or rebuild through EnsureEps.
+func newIndex(seed *dataset.Dataset, eps float64) *Index {
+	if eps <= 0 {
+		eps = fallbackEps
+	}
+	x := &Index{ds: seed.Clone(), eps: eps}
+	x.rebuild()
+	return x
+}
+
+// rebuild constructs the tree from scratch at the current ε.
+func (x *Index) rebuild() {
+	box := unitBox(x.ds.Dims())
+	if x.ds.Len() > 0 {
+		box = x.ds.Bounds()
+	}
+	x.tree = core.BuildWithBox(x.ds, x.eps, box, core.Config{})
+}
+
+// unitBox is the fallback frame for an empty mirror.
+func unitBox(dims int) vec.Box {
+	lo := make([]float64, dims)
+	hi := make([]float64, dims)
+	for d := range hi {
+		hi[d] = 1
+	}
+	return vec.NewBox(lo, hi)
+}
+
+// EnsureEps guarantees the index answers queries up to eps, rebuilding
+// once if the standing-query ceiling rose. Lowering never rebuilds.
+func (x *Index) EnsureEps(eps float64) {
+	if eps <= x.eps {
+		return
+	}
+	x.eps = eps
+	x.rebuild()
+}
+
+// Add appends p to the mirror and indexes it, returning its index.
+func (x *Index) Add(p []float64) int {
+	x.ds.Append(p)
+	i := x.ds.Len() - 1
+	x.tree.Insert(i)
+	return i
+}
+
+// Neighbors visits every indexed point within radius of q under metric.
+// radius must not exceed the index ε (EnsureEps is the caller's job).
+func (x *Index) Neighbors(q []float64, metric vec.Metric, radius float64, visit func(i int)) {
+	x.tree.RangeQuery(q, metric, radius, nil, visit)
+}
+
+// Len returns the number of mirrored points.
+func (x *Index) Len() int { return x.ds.Len() }
+
+// Dims returns the mirror dimensionality.
+func (x *Index) Dims() int { return x.ds.Dims() }
+
+// Point returns mirrored point i (aliased, treat as read-only).
+func (x *Index) Point(i int) []float64 { return x.ds.Point(i) }
+
+// Eps returns the largest query radius the index currently supports.
+func (x *Index) Eps() float64 { return x.eps }

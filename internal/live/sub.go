@@ -1,0 +1,127 @@
+package live
+
+import "simjoin/internal/vec"
+
+// Query is one standing similarity-join: a self-join over Dataset, or a
+// two-set join when Other is non-empty (pairs are (Dataset-index,
+// Other-index)).
+type Query struct {
+	Dataset string
+	Other   string
+	Eps     float64
+	Metric  vec.Metric
+}
+
+// DefaultBuffer is the mailbox capacity, in batch events, a subscription
+// gets when Options.Buffer is unset. A subscriber that falls this many
+// batches behind is evicted as a slow consumer.
+const DefaultBuffer = 32
+
+// Options tunes one subscription.
+type Options struct {
+	// Buffer is the mailbox capacity in batch events (≤ 0 selects
+	// DefaultBuffer).
+	Buffer int
+	// After, when non-nil, asks for catch-up replay: every pair whose
+	// later endpoint has index ≥ *After is delivered in one synthetic
+	// batch before live delivery starts. nil subscribes from now.
+	After *int
+	// AfterOther is the Other-side replay cursor for two-set queries:
+	// with both cursors set, the catch-up batch holds every pair not
+	// fully contained in the [0,*After)×[0,*AfterOther) prefix.
+	AfterOther *int
+}
+
+// Event is one message on a subscription stream: the delta pairs of one
+// appended batch (or one catch-up replay), plus the sequence tokens a
+// client needs to resume after a disconnect.
+type Event struct {
+	// Pairs are the new qualifying pairs this batch created. Self-join
+	// pairs are (i, j) with i < j; two-set pairs are (Dataset-index,
+	// Other-index).
+	Pairs [][2]int
+	// Seq is the dataset length after the batch — the cursor to resume
+	// from (Options.After) when reconnecting.
+	Seq int
+	// SeqOther is the Other dataset's length, for two-set queries.
+	SeqOther int
+	// Added is how many points the batch appended (to either side).
+	Added int
+	// CatchUp marks the synthetic replay batch an Options.After
+	// subscription starts with.
+	CatchUp bool
+}
+
+// Subscription is one registered standing query. Events arrive on
+// Events(); when the channel closes, Reason() says why the stream ended
+// ("dataset deleted", "slow consumer", "server shutting down", …).
+type Subscription struct {
+	id uint64
+	q  Query
+	ch chan Event
+	// baseSeq / baseSeqOther are the dataset lengths at registration —
+	// the cursors a hello event reports before any batch arrives.
+	baseSeq      int
+	baseSeqOther int
+	// done and reason are engine-state: written only under the engine
+	// mutex, reason read after ch closes (close happens-before the
+	// receive that observes it).
+	done   bool
+	reason string
+}
+
+// ID returns the engine-assigned subscription id.
+func (s *Subscription) ID() uint64 { return s.id }
+
+// Query returns the standing query this subscription delivers.
+func (s *Subscription) Query() Query { return s.q }
+
+// Events is the subscription mailbox. It closes when the stream ends.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// BaseSeq returns the Dataset-side sequence token (its length) at the
+// moment the subscription registered.
+func (s *Subscription) BaseSeq() int { return s.baseSeq }
+
+// BaseSeqOther returns the Other-side token at registration (0 for
+// self-joins).
+func (s *Subscription) BaseSeqOther() int { return s.baseSeqOther }
+
+// Reason reports why the stream ended. Valid only after Events() closed.
+func (s *Subscription) Reason() string { return s.reason }
+
+// deliver enqueues ev without blocking; a full mailbox means the
+// consumer is not keeping up and the subscription is evicted. Caller
+// holds the engine mutex.
+func (s *Subscription) deliver(ev Event) bool {
+	if s.done {
+		return false
+	}
+	select {
+	case s.ch <- ev:
+		return true
+	default:
+		s.terminate(ReasonSlowConsumer)
+		return false
+	}
+}
+
+// terminate ends the stream with reason. Caller holds the engine mutex,
+// which is what makes close safe against concurrent deliver calls.
+func (s *Subscription) terminate(reason string) {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.reason = reason
+	close(s.ch)
+}
+
+// Terminal reasons the engine ends subscriptions with.
+const (
+	ReasonDeleted      = "dataset deleted"
+	ReasonReplaced     = "dataset replaced"
+	ReasonShutdown     = "server shutting down"
+	ReasonSlowConsumer = "slow consumer"
+	ReasonDesync       = "live mirror out of sync"
+)

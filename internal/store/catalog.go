@@ -276,6 +276,21 @@ func (c *Catalog) Recovery() RecoveryInfo { return c.rec }
 // WALBytes returns the current total WAL size across datasets.
 func (c *Catalog) WALBytes() int64 { return c.walBytes.Load() }
 
+// DatasetWALBytes returns one dataset's current WAL size, and whether
+// the dataset exists.
+func (c *Catalog) DatasetWALBytes(name string) (int64, bool) {
+	d, ok := c.get(name)
+	if !ok {
+		return 0, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.deleted {
+		return 0, false
+	}
+	return d.walBytes, true
+}
+
 // Dir returns the catalog's root directory.
 func (c *Catalog) Dir() string { return c.dir }
 
