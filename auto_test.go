@@ -1,6 +1,10 @@
 package simjoin
 
-import "testing"
+import (
+	"testing"
+
+	"simjoin/internal/estimate"
+)
 
 // TestAutoAlgorithm: "auto" must pick a working algorithm for every
 // workload regime and give the exact answer each time.
@@ -42,6 +46,80 @@ func TestAutoOnEmptyDataset(t *testing.T) {
 	}
 	if len(res.Pairs) != 0 {
 		t.Error("empty dataset produced pairs")
+	}
+}
+
+// TestAutoWithSketchRunsNoSampleJoins is the tentpole's acceptance
+// check: on a sketched dataset, AlgorithmAuto must plan entirely from
+// the resident sketch — zero brute-force sample joins — fill
+// JoinStats.EstimatedPairs, and still produce the exact result.
+func TestAutoWithSketchRunsNoSampleJoins(t *testing.T) {
+	ds, _ := Synthetic("clustered", 3000, 8, 3)
+	sk := ds.EnableSketch()
+	if sk == nil || ds.Sketch() != sk {
+		t.Fatal("EnableSketch did not attach")
+	}
+	before := estimate.SampleJoins()
+	var st JoinStats
+	auto, err := SelfJoin(ds, Options{Eps: 0.1, Algorithm: AlgorithmAuto, Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := estimate.SampleJoins() - before; got != 0 {
+		t.Errorf("sketched Auto ran %d sample joins, want 0", got)
+	}
+	if st.EstimatedPairs < 0 {
+		t.Errorf("EstimatedPairs not filled: %d", st.EstimatedPairs)
+	}
+	exact, err := SelfJoin(ds, Options{Eps: 0.1, Algorithm: AlgorithmBrute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auto.Pairs) != len(exact.Pairs) {
+		t.Fatalf("auto %d pairs, exact %d", len(auto.Pairs), len(exact.Pairs))
+	}
+	// The estimate must be in the right ballpark of what actually came out.
+	if actual := int64(len(exact.Pairs)); st.EstimatedPairs > 8*actual+8 || 8*st.EstimatedPairs+8 < actual {
+		t.Errorf("estimate %d vs actual %d: off by more than 8x", st.EstimatedPairs, actual)
+	}
+}
+
+// TestAutoSketchAppendKeepsTracking: appends after EnableSketch must
+// flow into the sketch so its population count follows the data.
+func TestAutoSketchAppendKeepsTracking(t *testing.T) {
+	ds, _ := Synthetic("uniform", 500, 3, 9)
+	sk := ds.EnableSketch()
+	ds.Append([]float64{0.5, 0.5, 0.5})
+	if sk.Points() != 501 {
+		t.Errorf("sketch saw %d points, want 501", sk.Points())
+	}
+}
+
+// TestAutoTwoSetJoinSketched: the two-set planner must also avoid
+// sampling when both sides carry sketches.
+func TestAutoTwoSetJoinSketched(t *testing.T) {
+	a, _ := Synthetic("clustered", 2000, 6, 5)
+	b, _ := Synthetic("clustered", 2000, 6, 5)
+	a.EnableSketch()
+	b.EnableSketch()
+	before := estimate.SampleJoins()
+	var st JoinStats
+	auto, err := Join(a, b, Options{Eps: 0.05, Algorithm: AlgorithmAuto, Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := estimate.SampleJoins() - before; got != 0 {
+		t.Errorf("sketched Auto ran %d sample joins, want 0", got)
+	}
+	if st.EstimatedPairs < 0 {
+		t.Errorf("EstimatedPairs not filled: %d", st.EstimatedPairs)
+	}
+	exact, err := Join(a, b, Options{Eps: 0.05, Algorithm: AlgorithmBrute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auto.Pairs) != len(exact.Pairs) {
+		t.Fatalf("auto %d pairs, exact %d", len(auto.Pairs), len(exact.Pairs))
 	}
 }
 

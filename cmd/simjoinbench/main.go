@@ -7,6 +7,8 @@
 // synthetic clustered data, so every run measures the same work. Two
 // live-engine cases ride along: incremental Range+Insert of a 64-point
 // batch against a standing index versus a full rebuild plus re-probe.
+// Two estimator cases track the resident join-size sketch: the cost of
+// absorbing a 64-point batch, and the cost of one sketch-served plan.
 //
 //	simjoinbench [-quick] [-out BENCH_2006-01-02.json]
 //	simjoinbench -quick -baseline bench/BENCH_xxx.json [-threshold 0.2]
@@ -340,6 +342,77 @@ func runLive(quick bool) ([]Case, error) {
 	return out, nil
 }
 
+// runEstimate measures the sketch-based planner, pinned at
+// dimensionality 8:
+//
+//	estimate/sketch-update — absorb a 64-point batch into a sketch
+//	                         already warmed with the full dataset (what
+//	                         every append pays to keep estimates fresh)
+//	estimate/choose        — PlanSelfJoin on the sketched dataset: the
+//	                         planner's O(reservoir) fast path, no raw
+//	                         point ever touched
+func runEstimate(quick bool) ([]Case, error) {
+	const dims, batch = 8, 64
+	n, _, _, eps := sizes(dims, quick)
+	full, err := simjoin.Synthetic("clustered", n, dims, 13)
+	if err != nil {
+		return nil, err
+	}
+	tail := make([][]float64, batch)
+	for i := range tail {
+		tail[i] = full.Point(n - batch + i)
+	}
+	sk := full.EnableSketch()
+	pl := simjoin.PlanSelfJoin(full, simjoin.L2, eps)
+	if !pl.Sketched || pl.EstimatedPairs <= 0 {
+		return nil, fmt.Errorf("estimate/choose: degenerate benchmark, sketch predicts %d pairs at eps %g", pl.EstimatedPairs, eps)
+	}
+	var sink int64
+	benches := []struct {
+		name  string
+		bench func(b *testing.B)
+	}{
+		{"estimate/sketch-update", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, p := range tail {
+					sk.Observe(p)
+				}
+			}
+		}},
+		{"estimate/choose", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := simjoin.PlanSelfJoin(full, simjoin.L2, eps)
+				sink += p.EstimatedPairs
+			}
+		}},
+	}
+	var out []Case
+	for _, bc := range benches {
+		var r testing.BenchmarkResult
+		best := math.Inf(1)
+		for rep := 0; rep < benchRepeats; rep++ {
+			res := testing.Benchmark(bc.bench)
+			if ns := float64(res.T.Nanoseconds()) / float64(res.N); ns < best {
+				best, r = ns, res
+			}
+		}
+		out = append(out, Case{
+			Name:        bc.name,
+			Iterations:  r.N,
+			NsPerOp:     best,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			// Pairs carries the sketch's prediction for the suite's
+			// workload, so reports also track estimator drift.
+			Pairs: pl.EstimatedPairs,
+		})
+	}
+	_ = sink
+	return out, nil
+}
+
 // compare gates next against base: any case whose ns/op grew by more
 // than threshold (fraction, e.g. 0.2 = +20%) is a regression. It returns
 // the number of regressions after printing a per-case table.
@@ -448,6 +521,15 @@ func main() {
 		os.Exit(2)
 	}
 	for _, c := range liveCases {
+		fmt.Printf("%-28s %12.0f ns/op  %8d allocs/op  %10d pairs\n", c.Name, c.NsPerOp, c.AllocsPerOp, c.Pairs)
+		report.Cases = append(report.Cases, c)
+	}
+	estCases, err := runEstimate(*quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simjoinbench:", err)
+		os.Exit(2)
+	}
+	for _, c := range estCases {
 		fmt.Printf("%-28s %12.0f ns/op  %8d allocs/op  %10d pairs\n", c.Name, c.NsPerOp, c.AllocsPerOp, c.Pairs)
 		report.Cases = append(report.Cases, c)
 	}

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"simjoin"
+	"simjoin/internal/cluster"
+	"simjoin/internal/rclient"
+)
+
+// newBudgetServer boots a worker with an admission budget.
+func newBudgetServer(t *testing.T, maxPairs int64) *httptest.Server {
+	t.Helper()
+	srv := newServer()
+	srv.maxPairs = maxPairs
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// densePoints is a workload where nearly every pair joins at a generous
+// eps: one tight Gaussian blob.
+func densePoints(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{0.5 + rng.NormFloat64()*0.01, 0.5 + rng.NormFloat64()*0.01}
+	}
+	return pts
+}
+
+func exactSelfJoinTotal(t *testing.T, pts [][]float64, eps float64) int64 {
+	t.Helper()
+	res, err := simjoin.SelfJoin(simjoin.FromPoints(pts), simjoin.Options{Eps: eps, Algorithm: simjoin.AlgorithmBrute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Stats.Results
+}
+
+// TestWorkerAdmissionControl: a self-join whose estimated result size
+// exceeds -max-pairs must be refused with 429 (estimate in the body),
+// the same request with "degrade" must return the exact count without
+// pairs, and an under-budget request must run normally.
+func TestWorkerAdmissionControl(t *testing.T) {
+	const budget = 100
+	ts := newBudgetServer(t, budget)
+	pts := densePoints(60, 1) // all pairs join at eps 1: 60·59/2 = 1770 ≫ budget
+	putPoints(t, ts.URL, "dense", pts)
+
+	// Over budget, no degrade: 429 carrying the estimate.
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/datasets/dense/selfjoin", map[string]any{"eps": 1.0})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget status = %d, want 429 (%v)", resp.StatusCode, body)
+	}
+	est, ok := body["estimated_pairs"].(float64)
+	if !ok || est <= budget {
+		t.Fatalf("429 body estimated_pairs = %v, want > %d", body["estimated_pairs"], budget)
+	}
+	if mp, ok := body["max_pairs"].(float64); !ok || int64(mp) != budget {
+		t.Fatalf("429 body max_pairs = %v, want %d", body["max_pairs"], budget)
+	}
+
+	// Same request with degrade: counting-only run, exact total, no pairs.
+	want := exactSelfJoinTotal(t, pts, 1.0)
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/datasets/dense/selfjoin", map[string]any{"eps": 1.0, "degrade": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded status = %d (%v)", resp.StatusCode, body)
+	}
+	if body["degraded"] != true {
+		t.Fatalf("degraded flag missing: %v", body)
+	}
+	if got := int64(body["total"].(float64)); got != want {
+		t.Fatalf("degraded total = %d, want exact %d", got, want)
+	}
+	if n := len(body["pairs"].([]any)); n != 0 {
+		t.Fatalf("degraded run returned %d pairs, want none", n)
+	}
+	if got := int64(body["estimated_pairs"].(float64)); got <= budget {
+		t.Fatalf("degraded estimated_pairs = %d, want > %d", got, budget)
+	}
+
+	// Under budget: the identical route with a tiny eps runs normally
+	// and still reports the (sketch-served) estimate.
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/datasets/dense/selfjoin", map[string]any{"eps": 1e-9})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("under-budget status = %d (%v)", resp.StatusCode, body)
+	}
+	if body["degraded"] == true {
+		t.Fatal("under-budget request was degraded")
+	}
+	if _, ok := body["estimated_pairs"].(float64); !ok {
+		t.Fatalf("under-budget response carries no estimated_pairs: %v", body)
+	}
+}
+
+// TestWorkerTwoSetAdmission: the /join route prices against both
+// sketches and enforces the same budget.
+func TestWorkerTwoSetAdmission(t *testing.T) {
+	ts := newBudgetServer(t, 50)
+	a := densePoints(40, 2)
+	b := densePoints(40, 3)
+	putPoints(t, ts.URL, "a", a)
+	putPoints(t, ts.URL, "b", b)
+
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/join", map[string]any{"a": "a", "b": "b", "eps": 1.0})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget two-set status = %d (%v)", resp.StatusCode, body)
+	}
+
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/join", map[string]any{"a": "a", "b": "b", "eps": 1.0, "degrade": true})
+	if resp.StatusCode != http.StatusOK || body["degraded"] != true {
+		t.Fatalf("degraded two-set: %d %v", resp.StatusCode, body)
+	}
+	if got := int64(body["total"].(float64)); got != 40*40 {
+		t.Fatalf("degraded two-set total = %d, want %d", got, 40*40)
+	}
+}
+
+// TestWorkerEstimateEndpoint: GET /datasets/{name}?eps= must answer
+// with the sketch-served prediction and the sketch's metadata.
+func TestWorkerEstimateEndpoint(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	pts := densePoints(50, 4)
+	putPoints(t, ts.URL, "d", pts)
+
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/datasets/d?eps=1.0", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%v)", resp.StatusCode, body)
+	}
+	sk, ok := body["sketch"].(map[string]any)
+	if !ok || sk["points"].(float64) != 50 {
+		t.Fatalf("sketch block = %v", body["sketch"])
+	}
+	est, ok := body["estimate"].(map[string]any)
+	if !ok {
+		t.Fatalf("no estimate block: %v", body)
+	}
+	if est["sketched"] != true {
+		t.Fatalf("estimate not sketch-served: %v", est)
+	}
+	// 50 tightly clustered points at eps 1: everything joins, and below
+	// the reservoir size the sketch is exact.
+	if got := int64(est["pairs"].(float64)); got != 50*49/2 {
+		t.Fatalf("estimated pairs = %d, want %d", got, 50*49/2)
+	}
+
+	// Bad eps is a 400, not a silent omission.
+	resp, _ = doJSON(t, http.MethodGet, ts.URL+"/datasets/d?eps=-1", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("eps=-1 status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// startBudgetCluster is startCluster with an admission budget on the
+// coordinator (workers stay unlimited, so shard sub-queries always run).
+func startBudgetCluster(t *testing.T, n int, margin float64, maxPairs int64) *httptest.Server {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		w := httptest.NewServer(newServer().handler())
+		urls[i] = w.URL
+		t.Cleanup(w.Close)
+	}
+	rc := &rclient.Client{
+		MaxRetries:     2,
+		BaseDelay:      2 * time.Millisecond,
+		MaxDelay:       10 * time.Millisecond,
+		AttemptTimeout: 10 * time.Second,
+		RetryPOST:      true,
+	}
+	cs := newCoordServer(cluster.New(urls, margin, rc))
+	cs.maxPairs = maxPairs
+	coord := httptest.NewServer(cs.handler())
+	t.Cleanup(coord.Close)
+	return coord
+}
+
+// TestCoordinatorAdmissionControl: the coordinator prices a distributed
+// self-join by scattering per-shard estimates, refuses over-budget
+// queries with 429, degrades on request to an exact merged count, and
+// passes under-budget queries through untouched.
+func TestCoordinatorAdmissionControl(t *testing.T) {
+	const budget = 100
+	coord := startBudgetCluster(t, 3, 1.0, budget)
+	pts := clusterPoints(120, 2, 7) // uniform in [0,1]²; eps 0.9 joins nearly all pairs
+	putPoints(t, coord.URL, "g", pts)
+
+	resp, body := doJSON(t, http.MethodPost, coord.URL+"/datasets/g/selfjoin", map[string]any{"eps": 0.9})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget status = %d (%v)", resp.StatusCode, body)
+	}
+	if est, ok := body["estimated_pairs"].(float64); !ok || est <= budget {
+		t.Fatalf("429 body estimated_pairs = %v, want > %d", body["estimated_pairs"], budget)
+	}
+
+	want := exactSelfJoinTotal(t, pts, 0.9)
+	resp, body = doJSON(t, http.MethodPost, coord.URL+"/datasets/g/selfjoin", map[string]any{"eps": 0.9, "degrade": true})
+	if resp.StatusCode != http.StatusOK || body["degraded"] != true {
+		t.Fatalf("degraded: %d %v", resp.StatusCode, body)
+	}
+	if got := int64(body["total"].(float64)); got != want {
+		t.Fatalf("degraded total = %d, want exact %d", got, want)
+	}
+
+	resp, body = doJSON(t, http.MethodPost, coord.URL+"/datasets/g/selfjoin", map[string]any{"eps": 0.001})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("under-budget status = %d (%v)", resp.StatusCode, body)
+	}
+	if body["degraded"] == true {
+		t.Fatal("under-budget request was degraded")
+	}
+}
+
+// TestCoordinatorEstimateEndpoint: GET /datasets/{name}?eps= through
+// the coordinator gathers one estimate per shard.
+func TestCoordinatorEstimateEndpoint(t *testing.T) {
+	coord, _ := startCluster(t, 3, 1.0)
+	pts := clusterPoints(90, 2, 9)
+	putPoints(t, coord.URL, "e", pts)
+
+	resp, body := doJSON(t, http.MethodGet, coord.URL+"/datasets/e?eps=0.5", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%v)", resp.StatusCode, body)
+	}
+	est, ok := body["estimate"].(map[string]any)
+	if !ok {
+		t.Fatalf("no estimate block: %v", body)
+	}
+	if est["pairs"].(float64) <= 0 {
+		t.Fatalf("summed estimate = %v, want > 0", est["pairs"])
+	}
+	shards, ok := est["shard_estimates"].([]any)
+	if !ok || len(shards) == 0 {
+		t.Fatalf("shard_estimates = %v", est["shard_estimates"])
+	}
+	for _, raw := range shards {
+		sh := raw.(map[string]any)
+		if sh["sketched"] != true {
+			t.Fatalf("shard estimate not sketch-served: %v", sh)
+		}
+	}
+}

@@ -35,6 +35,11 @@ type coordServer struct {
 	fanout *obsv.HistogramVec
 	// maxBody bounds request bodies (-max-body-bytes).
 	maxBody int64
+	// maxPairs, when > 0, is the admission budget (-max-pairs): a
+	// distributed self-join whose summed per-shard estimate exceeds it
+	// is refused with 429, or runs counting-only when the request sets
+	// "degrade".
+	maxPairs int64
 	// debug additionally mounts net/http/pprof under /debug/pprof/.
 	debug bool
 
@@ -212,6 +217,37 @@ type coordJoinResponse struct {
 	Shards       int                  `json:"shards"`
 	Partial      bool                 `json:"partial"`
 	FailedShards []cluster.ShardError `json:"failed_shards,omitempty"`
+	// EstimatedPairs is the sum of the shards' pre-run predictions,
+	// present when the admission budget priced the query.
+	EstimatedPairs *int64 `json:"estimated_pairs,omitempty"`
+	// Degraded marks a counting-only run forced by the admission budget.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// admitSelfJoin prices a distributed self-join against the -max-pairs
+// budget by scattering an estimate round (one sketch scan per worker).
+// It returns the summed prediction (nil when no budget is set or no
+// shard answered — pricing failures never block the query, they just
+// forgo admission) and whether the query is over budget.
+func (s *coordServer) admitSelfJoin(r *http.Request, name string, p joinParams) (*int64, bool) {
+	if s.maxPairs <= 0 || !(p.Eps > 0) {
+		return nil, false
+	}
+	defer s.observeFanout("estimate", time.Now())
+	est, err := s.c.EstimateSelfJoin(r.Context(), name, p.Eps, p.Metric)
+	if err != nil {
+		return nil, false
+	}
+	source := "sample"
+	for _, sh := range est.Shards {
+		if sh.Sketched {
+			source = "sketch"
+			break
+		}
+	}
+	s.m.estimateRequests.With(source).Inc()
+	total := est.Pairs
+	return &total, total > s.maxPairs
 }
 
 func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
@@ -220,30 +256,62 @@ func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
+	name := r.PathValue("name")
 	q := cluster.JoinQuery{
 		Eps:       p.Eps,
 		Metric:    p.Metric,
 		Algorithm: p.Algorithm,
 		Workers:   p.Workers,
 	}
+	est, over := s.admitSelfJoin(r, name, p)
+	if over {
+		if !p.Degrade {
+			rejectOverBudget(w, s.m, *est, s.maxPairs)
+			return
+		}
+		s.m.estimateDegraded.Inc()
+		start := time.Now()
+		res, err := s.c.SelfJoinEach(r.Context(), name, q, func(i, j int) {})
+		s.observeFanout("selfjoin", start)
+		if err != nil {
+			coordError(w, err)
+			return
+		}
+		s.m.observeEstimateRatio(*est, res.Pairs)
+		writeJSON(w, coordJoinResponse{
+			Pairs:          [][2]int{},
+			Total:          res.Pairs,
+			ElapsedMS:      float64(time.Since(start).Microseconds()) / 1000,
+			Shards:         res.Shards,
+			Partial:        res.Partial,
+			FailedShards:   res.Failed,
+			EstimatedPairs: est,
+			Degraded:       true,
+		})
+		return
+	}
 	if p.Stream {
 		s.streamSelfJoin(w, r, p, q)
 		return
 	}
 	start := time.Now()
-	res, err := s.c.SelfJoin(r.Context(), r.PathValue("name"), q)
+	res, err := s.c.SelfJoin(r.Context(), name, q)
 	s.observeFanout("selfjoin", start)
 	if err != nil {
 		coordError(w, err)
 		return
 	}
 	out := coordJoinResponse{
-		Pairs:        res.Pairs,
-		Total:        int64(len(res.Pairs)),
-		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
-		Shards:       res.Shards,
-		Partial:      res.Partial,
-		FailedShards: res.Failed,
+		Pairs:          res.Pairs,
+		Total:          int64(len(res.Pairs)),
+		ElapsedMS:      float64(time.Since(start).Microseconds()) / 1000,
+		Shards:         res.Shards,
+		Partial:        res.Partial,
+		FailedShards:   res.Failed,
+		EstimatedPairs: est,
+	}
+	if est != nil {
+		s.m.observeEstimateRatio(*est, out.Total)
 	}
 	if p.MaxPairs > 0 && len(out.Pairs) > p.MaxPairs {
 		out.Pairs = out.Pairs[:p.MaxPairs]

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"simjoin/internal/cluster"
@@ -42,7 +43,10 @@ func (s *coordServer) handleAppend(w http.ResponseWriter, r *http.Request) {
 
 // handleGetDataset answers GET /datasets/{name} from the shard map: the
 // dataset's global shape, how it is spread over the fleet, and how many
-// standing queries are watching it through this coordinator.
+// standing queries are watching it through this coordinator. With ?eps=
+// (and optional &metric=) the answer gains an "estimate" block — the
+// summed predicted self-join size plus each shard's own estimate,
+// gathered from the workers' sketches in one scatter.
 func (s *coordServer) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	sm, ok := s.c.Map(name)
@@ -54,7 +58,7 @@ func (s *coordServer) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	for _, sh := range sm.Shards {
 		replicas += len(sh.Global)
 	}
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"name":    name,
 		"len":     sm.Total,
 		"dims":    sm.Dims,
@@ -62,7 +66,27 @@ func (s *coordServer) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 		"shards":  len(sm.Shards),
 		"stored":  replicas,
 		"watches": s.watchCount(name),
-	})
+	}
+	if v := r.URL.Query().Get("eps"); v != "" {
+		eps, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(eps > 0) {
+			httpError(w, http.StatusBadRequest, "eps must be a positive number, got %q", v)
+			return
+		}
+		defer s.observeFanout("estimate", time.Now())
+		est, err := s.c.EstimateSelfJoin(r.Context(), name, eps, r.URL.Query().Get("metric"))
+		if err != nil {
+			coordError(w, err)
+			return
+		}
+		out["estimate"] = map[string]any{
+			"eps":             eps,
+			"pairs":           est.Pairs,
+			"partial":         est.Partial,
+			"shard_estimates": est.Shards,
+		}
+	}
+	writeJSON(w, out)
 }
 
 // addWatch / removeWatch / watchCount maintain the per-dataset tally of

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"simjoin"
 	"simjoin/internal/live"
 	"simjoin/internal/vec"
 )
@@ -181,8 +183,11 @@ func writeEventLine(bw *bufio.Writer, v any) bool {
 }
 
 // handleGetDataset answers GET /datasets/{name}: the dataset's shape
-// plus its durable footprint and live-engine state — the single-dataset
-// introspection the aggregate list can't give.
+// plus its durable footprint, live-engine state, and sketch metadata —
+// the single-dataset introspection the aggregate list can't give. With
+// ?eps= (and optional &metric=) the answer gains an "estimate" block:
+// the planner's predicted self-join size at that threshold, which is
+// also how a coordinator prices a distributed query shard by shard.
 func (s *server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	e, ok := s.get(name)
@@ -200,6 +205,37 @@ func (s *server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	if s.st != nil {
 		if wb, ok := s.st.DatasetWALBytes(name); ok {
 			out["wal_bytes"] = wb
+		}
+	}
+	if sk := ds.Sketch(); sk != nil {
+		out["sketch"] = map[string]any{
+			"points":        sk.Points(),
+			"reservoir":     sk.Reservoir(),
+			"sampled_pairs": sk.SampledPairs(),
+		}
+	}
+	if v := r.URL.Query().Get("eps"); v != "" {
+		eps, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(eps > 0) {
+			httpError(w, http.StatusBadRequest, "eps must be a positive number, got %q", v)
+			return
+		}
+		m := simjoin.L2
+		if ms := r.URL.Query().Get("metric"); ms != "" {
+			if m, err = simjoin.ParseMetric(ms); err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+		pl := simjoin.PlanSelfJoin(ds, m, eps)
+		s.m.estimateRequests.With(estimateSource(pl.Sketched)).Inc()
+		out["estimate"] = map[string]any{
+			"eps":         eps,
+			"metric":      m.String(),
+			"algorithm":   string(pl.Algorithm),
+			"pairs":       pl.EstimatedPairs,
+			"selectivity": pl.Selectivity,
+			"sketched":    pl.Sketched,
 		}
 	}
 	writeJSON(w, out)

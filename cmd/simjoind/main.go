@@ -87,6 +87,8 @@ func run(argv []string) int {
 		fsyncFlag    = fs.String("fsync", "always", `WAL fsync policy: "always", "never", or an interval like "100ms"`)
 		compactBytes = fs.Int64("compact-bytes", store.DefaultCompactBytes, "WAL size that triggers snapshot compaction (negative disables)")
 		maxBody      = fs.Int64("max-body-bytes", defaultMaxBodyBytes, "largest accepted request body in bytes")
+		maxPairs     = fs.Int64("max-pairs", 0, "admission budget: reject (429) or, on request, degrade join queries whose estimated result size exceeds this many pairs (0 = unlimited)")
+		sketchOn     = fs.Bool("sketch", true, "maintain a resident join-size sketch per dataset for O(1) estimates (worker mode)")
 		loads        loadFlags
 	)
 	fs.Var(&loads, "load", "preload a dataset: name=path (repeatable; worker mode only)")
@@ -121,6 +123,7 @@ func run(argv []string) int {
 		cs.debug = *debug
 		cs.log = logger
 		cs.maxBody = *maxBody
+		cs.maxPairs = *maxPairs
 		h = cs.handler()
 		onStop = cs.shutdownWatches
 		logger.Info("simjoind coordinating", "workers", len(urls), "addr", *addr, "margin", *margin)
@@ -129,6 +132,10 @@ func run(argv []string) int {
 		srv.debug = *debug
 		srv.log = logger
 		srv.maxBody = *maxBody
+		srv.maxPairs = *maxPairs
+		// Set before attachStore and -load run, so recovered and
+		// preloaded datasets get sketches (or not) like uploaded ones.
+		srv.sketch = *sketchOn
 		if *dataDir != "" {
 			mode, interval, err := store.ParseSync(*fsyncFlag)
 			if err != nil {
@@ -166,7 +173,7 @@ func run(argv []string) int {
 					return 1
 				}
 			}
-			srv.sets[name] = &entry{ds: ds}
+			srv.sets[name] = srv.newEntry(ds)
 			logger.Info("loaded dataset", "name", name, "points", ds.Len(), "dims", ds.Dims())
 		}
 		h = srv.handler()

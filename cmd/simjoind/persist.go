@@ -15,7 +15,9 @@ func (s *server) attachStore(cat *store.Catalog) {
 	s.st = cat
 	s.rec = cat.Recovery()
 	for name, ds := range cat.Datasets() {
-		s.sets[name] = &entry{ds: simjoin.WrapDataset(ds)}
+		// newEntry rebuilds each dataset's join-size sketch from the
+		// recovered points, so estimates survive restarts too.
+		s.sets[name] = s.newEntry(simjoin.WrapDataset(ds))
 	}
 	s.m.reg.NewGaugeFunc("simjoind_store_wal_bytes",
 		"Current total write-ahead log size across datasets.",

@@ -44,6 +44,15 @@ type server struct {
 	// live is the continuous-query engine: incremental per-dataset
 	// indexes plus the standing-query subscriptions watch streams serve.
 	live *live.Engine
+	// maxPairs, when > 0, is the admission budget (-max-pairs): join
+	// queries whose predicted result size exceeds it are refused with
+	// 429 — or run counting-only when the request sets "degrade" —
+	// instead of materializing a result nobody bounded.
+	maxPairs int64
+	// sketch (-sketch, default on) gives every registered dataset a
+	// resident join-size sketch, maintained incrementally across appends
+	// and rebuilt on recovery, so estimates never touch the raw points.
+	sketch bool
 	// debug additionally mounts net/http/pprof under /debug/pprof/.
 	debug bool
 }
@@ -95,12 +104,26 @@ func (e *entry) appendPoints(pts [][]float64, notify func(pts [][]float64, total
 	for _, p := range pts {
 		grown.Append(p)
 	}
-	e.ds = grown
-	e.nn = nil
+	e.adoptGrown(grown, pts)
 	if notify != nil {
 		notify(pts, e.ds.Len())
 	}
 	return e.ds.Len(), nil
+}
+
+// adoptGrown swaps in a grown snapshot under the entry lock,
+// invalidating the index and carrying the predecessor's join-size
+// sketch forward: the clone/wrap deliberately dropped the sketch
+// pointer, so the batch is attached and observed exactly once here.
+func (e *entry) adoptGrown(grown *simjoin.Dataset, pts [][]float64) {
+	if sk := e.ds.Sketch(); sk != nil {
+		grown.AttachSketch(sk)
+		for _, p := range pts {
+			sk.Observe(p)
+		}
+	}
+	e.ds = grown
+	e.nn = nil
 }
 
 // appendThrough routes an append through the durable store and adopts
@@ -114,8 +137,7 @@ func (e *entry) appendThrough(ctx context.Context, st *store.Catalog, name strin
 	if err != nil {
 		return 0, err
 	}
-	e.ds = simjoin.WrapDataset(grown)
-	e.nn = nil
+	e.adoptGrown(simjoin.WrapDataset(grown), pts)
 	if notify != nil {
 		notify(pts, e.ds.Len())
 	}
@@ -139,6 +161,7 @@ func newServer() *server {
 		m:       newMetrics(),
 		maxBody: defaultMaxBodyBytes,
 		tracer:  trace.New(defaultTraceCapacity),
+		sketch:  true,
 	}
 	s.live = live.New(liveHooks(s.m))
 	s.m.reg.NewGaugeFunc("simjoind_live_subscriptions",
@@ -216,6 +239,16 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// newEntry wraps a dataset for serving, attaching a resident join-size
+// sketch when the server runs with sketches enabled: one pass over the
+// points here, O(1) per point on every later append.
+func (s *server) newEntry(ds *simjoin.Dataset) *entry {
+	if s.sketch {
+		ds.EnableSketch()
+	}
+	return &entry{ds: ds}
 }
 
 // get fetches a dataset entry by name.
@@ -305,7 +338,7 @@ func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	_, replaced := s.sets[name]
-	s.sets[name] = &entry{ds: ds}
+	s.sets[name] = s.newEntry(ds)
 	s.mu.Unlock()
 	if replaced {
 		// Standing queries were registered against the old incarnation's
@@ -389,6 +422,11 @@ type joinParams struct {
 	Workers   int     `json:"workers"`
 	MaxPairs  int     `json:"max_pairs"` // truncate the response (0 = no cap)
 	Stream    bool    `json:"stream"`    // NDJSON: one [i,j] line per pair, then a summary object
+	// Degrade opts into the admission budget's soft failure mode: a
+	// query whose estimated result size exceeds the server's -max-pairs
+	// runs counting-only (exact total, no pairs) instead of being
+	// rejected with 429.
+	Degrade bool `json:"degrade"`
 }
 
 func (p joinParams) options() (simjoin.Options, error) {
@@ -409,6 +447,13 @@ type joinResponse struct {
 	Total     int64    `json:"total"`
 	Truncated bool     `json:"truncated"`
 	ElapsedMS float64  `json:"elapsed_ms"`
+	// EstimatedPairs is the planner's pre-run prediction, present when
+	// one was made (a sketch was resident, or admission control forced a
+	// sampling estimate).
+	EstimatedPairs *int64 `json:"estimated_pairs,omitempty"`
+	// Degraded marks a counting-only run forced by the admission budget:
+	// Total is exact, Pairs is empty.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func toJoinResponse(res *simjoin.Result, maxPairs int) joinResponse {
@@ -472,6 +517,68 @@ func streamPairs(w http.ResponseWriter, m *metrics, route string, maxPairs int, 
 	_ = bw.Flush()
 }
 
+// admission is the outcome of pricing one join request: the prediction
+// (est < 0 when no estimate was made) and whether it breaks the budget.
+type admission struct {
+	est    int64
+	source string
+	over   bool
+}
+
+// price turns a planner report into an admission decision, charging the
+// per-source estimate counter.
+func (s *server) price(pl simjoin.Plan) admission {
+	a := admission{est: pl.EstimatedPairs, source: estimateSource(pl.Sketched)}
+	s.m.estimateRequests.With(a.source).Inc()
+	a.over = s.maxPairs > 0 && a.est > s.maxPairs
+	return a
+}
+
+// shouldPrice reports whether a request gets a pre-run estimate at all:
+// always when a budget is set (admission needs the number), otherwise
+// only when every listed dataset has a resident sketch making the
+// estimate free. !(eps > 0) short-circuits — the join itself will
+// reject the threshold with a clearer message.
+func (s *server) shouldPrice(eps float64, sets ...*simjoin.Dataset) bool {
+	if !(eps > 0) {
+		return false
+	}
+	if s.maxPairs > 0 {
+		return true
+	}
+	for _, ds := range sets {
+		if ds.Sketch() == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// rejectOverBudget answers 429, carrying the estimate that triggered it
+// so the caller can see how far over budget the query was.
+func rejectOverBudget(w http.ResponseWriter, m *metrics, est, budget int64) {
+	m.estimateRejected.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error":           fmt.Sprintf(`estimated result size %d exceeds the server's -max-pairs budget %d; narrow eps, or set "degrade": true for a counting-only run`, est, budget),
+		"estimated_pairs": est,
+		"max_pairs":       budget,
+	})
+}
+
+// degradedResponse assembles the counting-only answer of an over-budget
+// run the caller opted to degrade.
+func degradedResponse(total int64, elapsedMS float64, est int64) joinResponse {
+	return joinResponse{
+		Pairs:          [][2]int{},
+		Total:          total,
+		ElapsedMS:      elapsedMS,
+		EstimatedPairs: &est,
+		Degraded:       true,
+	}
+}
+
 func (s *server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.get(r.PathValue("name"))
 	if !ok {
@@ -489,18 +596,49 @@ func (s *server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opt.Trace = trace.FromContext(r.Context())
+	ds := e.dataset()
+	adm := admission{est: -1}
+	if s.shouldPrice(opt.Eps, ds) {
+		adm = s.price(simjoin.PlanSelfJoin(ds, opt.Metric, opt.Eps))
+	}
+	if adm.over {
+		if !p.Degrade {
+			rejectOverBudget(w, s.m, adm.est, s.maxPairs)
+			return
+		}
+		s.m.estimateDegraded.Inc()
+		collect := false
+		opt.CollectPairs = &collect
+		res, err := simjoin.SelfJoin(ds, opt)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.m.observeEstimateRatio(adm.est, res.Stats.Results)
+		writeJSON(w, degradedResponse(res.Stats.Results, float64(res.Stats.Elapsed.Microseconds())/1000, adm.est))
+		return
+	}
 	if p.Stream {
 		streamPairs(w, s.m, "POST /datasets/{name}/selfjoin", p.MaxPairs, func(emit func(i, j int)) (simjoin.Stats, error) {
-			return simjoin.SelfJoinEach(e.dataset(), opt, emit)
+			st, err := simjoin.SelfJoinEach(ds, opt, emit)
+			if err == nil {
+				s.m.observeEstimateRatio(adm.est, st.Results)
+			}
+			return st, err
 		})
 		return
 	}
-	res, err := simjoin.SelfJoin(e.dataset(), opt)
+	res, err := simjoin.SelfJoin(ds, opt)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, toJoinResponse(res, p.MaxPairs))
+	s.m.observeEstimateRatio(adm.est, res.Stats.Results)
+	out := toJoinResponse(res, p.MaxPairs)
+	if adm.est >= 0 {
+		out.EstimatedPairs = &adm.est
+	}
+	writeJSON(w, out)
 }
 
 // twoJoinRequest names the two sides of a cross-dataset join.
@@ -537,9 +675,34 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opt.Trace = trace.FromContext(r.Context())
+	adm := admission{est: -1}
+	if s.shouldPrice(opt.Eps, da, db) {
+		adm = s.price(simjoin.PlanJoin(da, db, opt.Metric, opt.Eps))
+	}
+	if adm.over {
+		if !req.Degrade {
+			rejectOverBudget(w, s.m, adm.est, s.maxPairs)
+			return
+		}
+		s.m.estimateDegraded.Inc()
+		collect := false
+		opt.CollectPairs = &collect
+		res, err := simjoin.Join(da, db, opt)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.m.observeEstimateRatio(adm.est, res.Stats.Results)
+		writeJSON(w, degradedResponse(res.Stats.Results, float64(res.Stats.Elapsed.Microseconds())/1000, adm.est))
+		return
+	}
 	if req.Stream {
 		streamPairs(w, s.m, "POST /join", req.MaxPairs, func(emit func(i, j int)) (simjoin.Stats, error) {
-			return simjoin.JoinEach(da, db, opt, emit)
+			st, err := simjoin.JoinEach(da, db, opt, emit)
+			if err == nil {
+				s.m.observeEstimateRatio(adm.est, st.Results)
+			}
+			return st, err
 		})
 		return
 	}
@@ -548,7 +711,12 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, toJoinResponse(res, req.MaxPairs))
+	s.m.observeEstimateRatio(adm.est, res.Stats.Results)
+	out := toJoinResponse(res, req.MaxPairs)
+	if adm.est >= 0 {
+		out.EstimatedPairs = &adm.est
+	}
+	writeJSON(w, out)
 }
 
 // pointQuery is the range/KNN request shape.

@@ -10,6 +10,10 @@ import (
 // used as join input. Construct with FromPoints, NewDataset, or Load.
 type Dataset struct {
 	ds *dataset.Dataset
+	// sk, when non-nil, is the dataset's resident join-size sketch:
+	// AlgorithmAuto plans from it instead of running a fresh sample join.
+	// See EnableSketch / AttachSketch.
+	sk *SizeSketch
 }
 
 // NewDataset returns an empty dataset of the given dimensionality. It
@@ -25,8 +29,37 @@ func FromPoints(pts [][]float64) *Dataset {
 }
 
 // Append copies point p into the dataset. It panics on dimensionality
-// mismatch.
-func (d *Dataset) Append(p []float64) { d.ds.Append(p) }
+// mismatch. When a sketch is attached it observes the point too, so the
+// resident estimate keeps tracking the data.
+func (d *Dataset) Append(p []float64) {
+	d.ds.Append(p)
+	if d.sk != nil {
+		d.sk.Observe(p)
+	}
+}
+
+// EnableSketch builds a join-size sketch over the dataset's current
+// points (once; repeated calls return the existing sketch) and keeps it
+// attached: AlgorithmAuto then plans from the sketch in O(1) instead of
+// brute-force joining a fresh subsample, and later Appends feed it
+// incrementally. See docs/ESTIMATION.md.
+func (d *Dataset) EnableSketch() *SizeSketch {
+	if d.sk == nil {
+		d.sk = SketchOf(d)
+	}
+	return d.sk
+}
+
+// Sketch returns the attached join-size sketch, or nil when none is
+// attached.
+func (d *Dataset) Sketch() *SizeSketch { return d.sk }
+
+// AttachSketch adopts an externally maintained sketch — the serving
+// layer's pattern, where one long-lived sketch outlives each
+// copy-on-write dataset snapshot. The caller owns keeping the sketch in
+// step with the data; attach before sharing the Dataset across
+// goroutines.
+func (d *Dataset) AttachSketch(s *SizeSketch) { d.sk = s }
 
 // Len returns the number of points.
 func (d *Dataset) Len() int { return d.ds.Len() }

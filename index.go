@@ -63,7 +63,7 @@ func (x *Index) SelfJoin(opt Options) (*Result, error) {
 	}
 	elapsed := watch.Elapsed()
 	snap := counters.Snapshot()
-	opt.fillStats(AlgorithmEKDB, snap, &phases, int64(len(collected)), elapsed)
+	opt.fillStats(planned{algo: AlgorithmEKDB, est: -1}, snap, &phases, int64(len(collected)), elapsed)
 	return buildResult(collected, snap, elapsed, opt), nil
 }
 
@@ -101,7 +101,7 @@ func (x *Index) SelfJoinEach(opt Options, fn func(i, j int)) (Stats, error) {
 	}
 	elapsed := watch.Elapsed()
 	snap := counters.Snapshot()
-	opt.fillStats(AlgorithmEKDB, snap, &phases, n, elapsed)
+	opt.fillStats(planned{algo: AlgorithmEKDB, est: -1}, snap, &phases, n, elapsed)
 	return eachStats(n, snap, elapsed), nil
 }
 

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+)
+
+// ShardEstimate is one worker's answer to a join-size estimate scatter:
+// the predicted pair count of the shard's local self-join at the asked
+// (metric, ε), straight from the worker's resident sketch (or its
+// sampling fallback — Sketched tells which). Err is set when the shard
+// did not answer; its contribution is then missing from the total.
+type ShardEstimate struct {
+	Shard       int     `json:"shard"`
+	URL         string  `json:"url"`
+	Points      int     `json:"points"`
+	Pairs       int64   `json:"pairs"`
+	Selectivity float64 `json:"selectivity"`
+	Sketched    bool    `json:"sketched"`
+	Err         string  `json:"error,omitempty"`
+}
+
+// EstimateResult is a merged distributed join-size estimate.
+type EstimateResult struct {
+	// Pairs is the sum of the live shards' local estimates. Boundary
+	// replicas make it a slight over-estimate of the global result (a
+	// cross-slab pair is predicted by both slabs that replicate it),
+	// which is the safe direction for admission control.
+	Pairs   int64
+	Shards  []ShardEstimate
+	Partial bool
+}
+
+// EstimateSelfJoin scatters a join-size estimate to every non-empty
+// shard and sums the answers — the coordinator's pricing pass: no
+// worker touches raw points when its dataset carries a sketch, so the
+// whole round trip costs one histogram scan per shard.
+func (c *Coordinator) EstimateSelfJoin(ctx context.Context, name string, eps float64, metric string) (*EstimateResult, error) {
+	sm, ok := c.Map(name)
+	if !ok {
+		return nil, NotFoundError{Name: name}
+	}
+	if !(eps > 0) {
+		return nil, QueryError{Msg: "eps must be positive"}
+	}
+	targets := sm.nonEmpty()
+	out := make([]ShardEstimate, len(targets))
+	failed := c.scatter(ctx, "estimate", sm, targets, func(ctx context.Context, s int) error {
+		var resp struct {
+			Len      int `json:"len"`
+			Estimate struct {
+				Pairs       int64   `json:"pairs"`
+				Selectivity float64 `json:"selectivity"`
+				Sketched    bool    `json:"sketched"`
+			} `json:"estimate"`
+		}
+		u := c.datasetURL(sm, s, name) + "?eps=" + strconv.FormatFloat(eps, 'g', -1, 64)
+		if metric != "" {
+			u += "&metric=" + url.QueryEscape(metric)
+		}
+		r, err := c.rc.Get(ctx, u)
+		if err != nil {
+			return err
+		}
+		if err := drainResponse(r, &resp); err != nil {
+			return err
+		}
+		for i, t := range targets {
+			if t == s {
+				out[i] = ShardEstimate{
+					Shard:       s,
+					URL:         sm.Shards[s].URL,
+					Points:      resp.Len,
+					Pairs:       resp.Estimate.Pairs,
+					Selectivity: resp.Estimate.Selectivity,
+					Sketched:    resp.Estimate.Sketched,
+				}
+				return nil
+			}
+		}
+		return fmt.Errorf("shard %d not in target set", s)
+	})
+	if len(failed) == len(targets) && len(targets) > 0 {
+		return nil, UnavailableError{Failed: failed}
+	}
+	for _, f := range failed {
+		for i, t := range targets {
+			if t == f.Shard {
+				out[i] = ShardEstimate{Shard: f.Shard, URL: f.URL, Err: f.Err}
+			}
+		}
+	}
+	res := &EstimateResult{Shards: out, Partial: len(failed) > 0}
+	for _, se := range out {
+		if se.Err == "" {
+			res.Pairs += se.Pairs
+		}
+	}
+	sort.Slice(res.Shards, func(i, j int) bool { return res.Shards[i].Shard < res.Shards[j].Shard })
+	return res, nil
+}

@@ -136,6 +136,16 @@ func (w *coordWatch) finish(reason string) {
 // reconnect with the shard's cursor after a backoff.
 func (w *coordWatch) run(ctx context.Context, s, after int) {
 	backoff := watchRetryMin
+	// One reusable timer for the whole retry loop: time.After leaks its
+	// timer until expiry, and a watch that is cancelled mid-backoff
+	// (dataset deleted, server shutdown) would strand one per retry —
+	// with many shards and the backoff at watchRetryMax that is real
+	// memory held for seconds after the watch is gone. The timer is
+	// always either drained (the <-timer.C receive) or stopped on the
+	// way out, so Reset never races a stale tick.
+	timer := time.NewTimer(backoff)
+	timer.Stop()
+	defer timer.Stop()
 	for ctx.Err() == nil {
 		opened, err := w.streamOnce(ctx, s, &after)
 		if ctx.Err() != nil {
@@ -150,10 +160,11 @@ func (w *coordWatch) run(ctx context.Context, s, after int) {
 			w.finish(live.ReasonDeleted)
 			return
 		}
+		timer.Reset(backoff)
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(backoff):
+		case <-timer.C:
 		}
 		if backoff *= 2; backoff > watchRetryMax {
 			backoff = watchRetryMax

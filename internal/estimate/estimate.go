@@ -1,16 +1,21 @@
 // Package estimate provides cheap pre-join estimation: result-size
-// (selectivity) estimates from a brute-force join over a random subsample,
+// (selectivity) estimates — from a brute-force join over a random
+// subsample, or from a resident streaming sketch (internal/sketch) —
 // and a rule-based algorithm chooser calibrated from the library's own
 // evaluation (EXPERIMENTS.md). Query optimizers are the paper family's
-// first consumer of selectivity estimates; here they feed the public API's
-// "auto" algorithm option.
+// first consumer of selectivity estimates; here they feed the public
+// API's "auto" algorithm option and simjoind's admission control.
 package estimate
 
 import (
+	"math"
+	"sync/atomic"
+
 	"simjoin/internal/brute"
 	"simjoin/internal/dataset"
 	"simjoin/internal/join"
 	"simjoin/internal/pairs"
+	"simjoin/internal/sketch"
 	"simjoin/internal/vec"
 )
 
@@ -20,11 +25,24 @@ import (
 // workloads the evaluation sweeps.
 const SampleSize = 1000
 
+// sampleJoins counts the brute-force sample joins the sampling
+// estimators have run, exported for tests and observability: a planner
+// consulting a sketch must leave it untouched.
+var sampleJoins atomic.Int64
+
+// SampleJoins reports how many brute-force sample joins the sampling
+// estimators have performed process-wide.
+func SampleJoins() int64 { return sampleJoins.Load() }
+
 // SelfJoinSize estimates the number of result pairs of a self-join over ds
 // at the given metric and ε: the exact count on a shuffled subsample of
-// sampleSize points (0 selects SampleSize), scaled by the squared sampling
-// ratio. The estimate is unbiased over the random subsample; expect
-// factor-level accuracy, not percent-level.
+// sampleSize points (0 selects SampleSize), scaled by n(n−1)/(s(s−1)) —
+// an unordered pair {i, j} survives sampling s of n points without
+// replacement with probability s(s−1)/(n(n−1)), so this scale makes the
+// estimate unbiased over the random subsample. (The square of the point
+// sampling ratio, (n/s)², is NOT the right scale: it under-estimates by
+// the factor (1−1/n)/(1−1/s).) Expect factor-level accuracy, not
+// percent-level.
 func SelfJoinSize(ds *dataset.Dataset, m vec.Metric, eps float64, sampleSize int, seed int64) int64 {
 	if sampleSize <= 0 {
 		sampleSize = SampleSize
@@ -39,9 +57,10 @@ func SelfJoinSize(ds *dataset.Dataset, m vec.Metric, eps float64, sampleSize int
 		c := ds.Clone()
 		c.Shuffle(seed)
 		sample = c.Head(sampleSize)
-		r := float64(n) / float64(sampleSize)
-		scale = r * r
+		nf, sf := float64(n), float64(sampleSize)
+		scale = nf * (nf - 1) / (sf * (sf - 1))
 	}
+	sampleJoins.Add(1)
 	var sink pairs.Counter
 	brute.SelfJoin(sample, join.Options{Metric: m, Eps: eps}, &sink)
 	return int64(float64(sink.N()) * scale)
@@ -61,8 +80,12 @@ func Selectivity(ds *dataset.Dataset, m vec.Metric, eps float64, sampleSize int,
 // JoinSize estimates the result cardinality of a two-set join of a and b
 // at the given metric and ε: the exact brute-force count over shuffled
 // subsamples of both sides (each capped at sampleSize; 0 selects
-// SampleSize), scaled by the product of the two sampling ratios. Like
-// SelfJoinSize, expect factor-level accuracy.
+// SampleSize), scaled by the product of the two sampling ratios. Unlike
+// the self-join case no finite-population pair correction applies: a
+// cross pair (i, j) survives the two independent without-replacement
+// samples with probability exactly (sa/na)·(sb/nb), so the ra·rb scale
+// is unbiased as it stands. Like SelfJoinSize, expect factor-level
+// accuracy.
 func JoinSize(a, b *dataset.Dataset, m vec.Metric, eps float64, sampleSize int, seed int64) int64 {
 	if sampleSize <= 0 {
 		sampleSize = SampleSize
@@ -80,6 +103,7 @@ func JoinSize(a, b *dataset.Dataset, m vec.Metric, eps float64, sampleSize int, 
 	}
 	sa, ra := sample(a, seed)
 	sb, rb := sample(b, seed^0x7ab1e5)
+	sampleJoins.Add(1)
 	var sink pairs.Counter
 	brute.Join(sa, sb, join.Options{Metric: m, Eps: eps}, &sink)
 	return int64(float64(sink.N()) * ra * rb)
@@ -107,44 +131,156 @@ const (
 	ChooseEKDB  Choice = "ekdb"
 )
 
-// Choose picks a join algorithm for the workload, using rules calibrated
-// from the library's evaluation:
-//
-//   - tiny inputs (N ≤ 400): nested loop — no build cost to amortize
-//     (F1's crossover sits below N≈500);
-//   - one dimension: the sort-sweep is exactly the right structure;
-//   - very unselective joins (estimated selectivity ≥ 2%): grid — F3
-//     shows every ε-structure converging once most stripe pairs join, and
-//     the grid's flat per-cell overhead wins the tie;
-//   - everything else: the ε-kdB tree (fastest on every other row of
-//     F1–F6/T1).
-func Choose(ds *dataset.Dataset, m vec.Metric, eps float64, seed int64) Choice {
-	if ds.Len() <= 400 {
-		return ChooseBrute
-	}
-	if ds.Dims() == 1 {
-		return ChooseSweep
-	}
-	if Selectivity(ds, m, eps, 0, seed) >= 0.02 {
-		return ChooseGrid
-	}
-	return ChooseEKDB
+// Prediction is what the planner derived before a join runs: the chosen
+// algorithm plus the result-size estimate that drove it. It is the unit
+// simjoind's admission control and the predicted-vs-actual metrics
+// consume.
+type Prediction struct {
+	// Algorithm is the chooser's pick.
+	Algorithm Choice
+	// Pairs is the predicted result size (self-joins: unordered pairs),
+	// or -1 when the planner decided without estimating (tiny or
+	// one-dimensional inputs on the sampling path, where estimating
+	// would cost more than it informs).
+	Pairs int64
+	// Selectivity is Pairs over the total pair count, or -1 when Pairs
+	// is -1.
+	Selectivity float64
+	// Sketched reports whether a resident sketch answered (true) or the
+	// sampling path ran (false).
+	Sketched bool
 }
 
-// ChooseJoin is Choose for a two-set join. It judges the workload by BOTH
+// The cost model behind the chooser, calibrated from the evaluation:
+//
+//   - tiny inputs (N ≤ chooseTinyN): nested loop — no build cost to
+//     amortize (F1's crossover sits below N≈500);
+//   - one dimension: the sort-sweep is exactly the right structure;
+//   - very unselective joins (estimated selectivity ≥ chooseGridSel):
+//     grid — F3 shows every ε-structure converging once most stripe
+//     pairs join, and the grid's flat per-cell overhead wins the tie;
+//   - everything else: the ε-kdB tree (fastest on every other row of
+//     F1–F6/T1).
+//
+// Both the sampling and the sketch-backed planners decide through this
+// one table, so their choices agree whenever their selectivity
+// estimates land on the same side of chooseGridSel.
+const (
+	chooseTinyN   = 400
+	chooseGridSel = 0.02
+)
+
+// chooseFrom applies the calibrated decision rules. selectivity is
+// called only when the rules actually need an estimate, so trivial
+// workloads never pay for one.
+func chooseFrom(n, dims int, selectivity func() float64) Choice {
+	switch {
+	case n <= chooseTinyN:
+		return ChooseBrute
+	case dims == 1:
+		return ChooseSweep
+	case selectivity() >= chooseGridSel:
+		return ChooseGrid
+	default:
+		return ChooseEKDB
+	}
+}
+
+// Plan runs the sampling planner over ds: pick an algorithm and, when
+// the rules needed one (or the answer was free), record the result-size
+// estimate that drove it. Non-finite or non-positive ε short-circuits
+// before any sampling — the public API rejects such thresholds, and the
+// answer is known without looking at a single point.
+func Plan(ds *dataset.Dataset, m vec.Metric, eps float64, seed int64) Prediction {
+	n := int64(ds.Len())
+	total := n * (n - 1) / 2
+	p := Prediction{Pairs: -1, Selectivity: -1}
+	sel := func() float64 {
+		switch {
+		case n < 2 || !(eps > 0): // empty input, or eps ≤ 0 / NaN: nothing joins
+			p.Pairs, p.Selectivity = 0, 0
+		case math.IsInf(eps, 1): // every pair joins
+			p.Pairs, p.Selectivity = total, 1
+		default:
+			p.Selectivity = Selectivity(ds, m, eps, 0, seed)
+			p.Pairs = int64(p.Selectivity*float64(total) + 0.5)
+		}
+		return p.Selectivity
+	}
+	p.Algorithm = chooseFrom(ds.Len(), ds.Dims(), sel)
+	return p
+}
+
+// PlanJoin is Plan for a two-set join. It judges the workload by BOTH
 // sides — total point count against the tiny-input rule, cross-join
 // selectivity sampled from both sets — so a small outer set probing a
-// large inner set is not mistaken for a tiny workload (a, alone, would
-// pass the N ≤ 400 brute rule while b holds millions of points).
+// large inner set is not mistaken for a tiny workload.
+func PlanJoin(a, b *dataset.Dataset, m vec.Metric, eps float64, seed int64) Prediction {
+	total := int64(a.Len()) * int64(b.Len())
+	p := Prediction{Pairs: -1, Selectivity: -1}
+	sel := func() float64 {
+		switch {
+		case total == 0 || !(eps > 0):
+			p.Pairs, p.Selectivity = 0, 0
+		case math.IsInf(eps, 1):
+			p.Pairs, p.Selectivity = total, 1
+		default:
+			p.Selectivity = JoinSelectivity(a, b, m, eps, 0, seed)
+			p.Pairs = int64(p.Selectivity*float64(total) + 0.5)
+		}
+		return p.Selectivity
+	}
+	p.Algorithm = chooseFrom(a.Len()+b.Len(), a.Dims(), sel)
+	return p
+}
+
+// PlanSketch is Plan answered by a resident sketch instead of a fresh
+// sample join: zero passes over the raw points, so the estimate is
+// computed unconditionally and Pairs is always filled. n is the served
+// dataset's current length (the sketch may trail or lead it by an
+// in-flight batch; the sketch supplies the distance distribution, the
+// caller the population size).
+func PlanSketch(sk *sketch.Sketch, n int, m vec.Metric, eps float64) Prediction {
+	total := int64(n) * int64(n-1) / 2
+	p := Prediction{Sketched: true}
+	switch {
+	case n < 2 || !(eps > 0):
+		p.Pairs, p.Selectivity = 0, 0
+	case math.IsInf(eps, 1):
+		p.Pairs, p.Selectivity = total, 1
+	default:
+		p.Selectivity = sk.SelfSelectivity(m, eps)
+		p.Pairs = int64(p.Selectivity*float64(total) + 0.5)
+	}
+	p.Algorithm = chooseFrom(n, sk.Dims(), func() float64 { return p.Selectivity })
+	return p
+}
+
+// PlanJoinSketch is PlanSketch for a two-set join over two sketches.
+// na and nb are the served datasets' current lengths.
+func PlanJoinSketch(ska, skb *sketch.Sketch, na, nb int, m vec.Metric, eps float64) Prediction {
+	total := int64(na) * int64(nb)
+	p := Prediction{Sketched: true}
+	switch {
+	case total == 0 || !(eps > 0):
+		p.Pairs, p.Selectivity = 0, 0
+	case math.IsInf(eps, 1):
+		p.Pairs, p.Selectivity = total, 1
+	default:
+		p.Selectivity = ska.JoinSelectivity(skb, m, eps)
+		p.Pairs = int64(p.Selectivity*float64(total) + 0.5)
+	}
+	p.Algorithm = chooseFrom(na+nb, ska.Dims(), func() float64 { return p.Selectivity })
+	return p
+}
+
+// Choose picks a join algorithm for the workload through the sampling
+// planner; see the cost-model rules above.
+func Choose(ds *dataset.Dataset, m vec.Metric, eps float64, seed int64) Choice {
+	return Plan(ds, m, eps, seed).Algorithm
+}
+
+// ChooseJoin is Choose for a two-set join.
 func ChooseJoin(a, b *dataset.Dataset, m vec.Metric, eps float64, seed int64) Choice {
-	if a.Len()+b.Len() <= 400 {
-		return ChooseBrute
-	}
-	if a.Dims() == 1 {
-		return ChooseSweep
-	}
-	if JoinSelectivity(a, b, m, eps, 0, seed) >= 0.02 {
-		return ChooseGrid
-	}
-	return ChooseEKDB
+	return PlanJoin(a, b, m, eps, seed).Algorithm
 }

@@ -1,12 +1,14 @@
 package estimate
 
 import (
+	"math"
 	"testing"
 
 	"simjoin/internal/brute"
 	"simjoin/internal/dataset"
 	"simjoin/internal/join"
 	"simjoin/internal/pairs"
+	"simjoin/internal/sketch"
 	"simjoin/internal/synth"
 	"simjoin/internal/vec"
 )
@@ -124,6 +126,158 @@ func TestChooseJoinRules(t *testing.T) {
 	tb := synth.Generate(synth.Config{N: 4000, Dims: 8, Seed: 18, Dist: synth.GaussianClusters})
 	if got := ChooseJoin(ta, tb, vec.L2, 0.05, 1); got != ChooseEKDB {
 		t.Errorf("typical chose %s", got)
+	}
+}
+
+// TestSelfJoinSizeMeasuredBias is the satellite's bias regression: the
+// mean scaled estimate over many independent sample draws must sit on
+// the exact count. A deliberately small sample (s = 25) makes the two
+// candidate scales differ by the factor (1−1/s)/(1−1/n) ≈ 4%, and a
+// near-diameter ε keeps the per-draw variance tiny — so a ±1.5% band on
+// the mean cleanly separates the correct n(n−1)/(s(s−1)) scale from the
+// biased (n/s)² one.
+func TestSelfJoinSizeMeasuredBias(t *testing.T) {
+	const (
+		n, s  = 2000, 25
+		seeds = 40
+		eps   = 1.2 // unit square: almost every pair joins
+	)
+	ds := synth.Generate(synth.Config{N: n, Dims: 2, Seed: 30, Dist: synth.Uniform})
+	exact := exactSelfJoinSize(ds, vec.L2, eps)
+	if exact == 0 {
+		t.Fatal("degenerate ground truth")
+	}
+	var sum float64
+	for seed := int64(0); seed < seeds; seed++ {
+		sum += float64(SelfJoinSize(ds, vec.L2, eps, s, seed))
+	}
+	ratio := sum / seeds / float64(exact)
+	if ratio < 0.985 || ratio > 1.015 {
+		t.Errorf("mean estimate / exact = %.4f over %d seeds, want ≈1 (r² scale would give ≈%.4f)",
+			ratio, seeds, (1-1.0/s)/(1-1.0/n))
+	}
+}
+
+// TestJoinSizeMeasuredBias is the two-set counterpart: the ra·rb scale
+// is unbiased for cross pairs (no finite-population correction applies
+// across two independent samples), so the mean must also sit on the
+// exact count.
+func TestJoinSizeMeasuredBias(t *testing.T) {
+	const (
+		s     = 30
+		seeds = 40
+		eps   = 1.2
+	)
+	a := synth.Generate(synth.Config{N: 1500, Dims: 2, Seed: 31, Dist: synth.Uniform})
+	b := synth.Generate(synth.Config{N: 1200, Dims: 2, Seed: 32, Dist: synth.Uniform})
+	var sink pairs.Counter
+	brute.Join(a, b, join.Options{Metric: vec.L2, Eps: eps}, &sink)
+	exact := sink.N()
+	if exact == 0 {
+		t.Fatal("degenerate ground truth")
+	}
+	var sum float64
+	for seed := int64(0); seed < seeds; seed++ {
+		sum += float64(JoinSize(a, b, vec.L2, eps, s, seed))
+	}
+	ratio := sum / seeds / float64(exact)
+	if ratio < 0.97 || ratio > 1.03 {
+		t.Errorf("mean estimate / exact = %.4f over %d seeds, want ≈1", ratio, seeds)
+	}
+}
+
+// TestPlanShortCircuitsDegenerateEps: non-finite or non-positive ε must
+// be answered without running a single sample join (the satellite's
+// short-circuit), with the trivially known prediction filled in.
+func TestPlanShortCircuitsDegenerateEps(t *testing.T) {
+	ds := synth.Generate(synth.Config{N: 5000, Dims: 4, Seed: 33, Dist: synth.Uniform})
+	n := int64(ds.Len())
+	before := SampleJoins()
+	for _, eps := range []float64{0, -1, math.NaN()} {
+		p := Plan(ds, vec.L2, eps, 1)
+		if p.Pairs != 0 || p.Selectivity != 0 {
+			t.Errorf("eps=%g: predicted %d pairs, selectivity %g, want 0/0", eps, p.Pairs, p.Selectivity)
+		}
+	}
+	if p := Plan(ds, vec.L2, math.Inf(1), 1); p.Pairs != n*(n-1)/2 || p.Selectivity != 1 || p.Algorithm != ChooseGrid {
+		t.Errorf("eps=+Inf: prediction %+v", p)
+	}
+	if pj := PlanJoin(ds, ds, vec.L2, math.NaN(), 1); pj.Pairs != 0 {
+		t.Errorf("join eps=NaN: predicted %d pairs", pj.Pairs)
+	}
+	if got := SampleJoins() - before; got != 0 {
+		t.Errorf("degenerate ε ran %d sample joins, want 0", got)
+	}
+}
+
+// TestPlanPredictionFields: the sampling planner fills the prediction
+// when the rules needed one and reports -1 when it decided without.
+func TestPlanPredictionFields(t *testing.T) {
+	tiny := synth.Generate(synth.Config{N: 100, Dims: 5, Seed: 34, Dist: synth.Uniform})
+	if p := Plan(tiny, vec.L2, 0.1, 1); p.Algorithm != ChooseBrute || p.Pairs != -1 {
+		t.Errorf("tiny: %+v", p)
+	}
+	typical := synth.Generate(synth.Config{N: 5000, Dims: 8, Seed: 35, Dist: synth.GaussianClusters})
+	p := Plan(typical, vec.L2, 0.05, 1)
+	if p.Algorithm != ChooseEKDB || p.Pairs < 0 || p.Sketched {
+		t.Errorf("typical: %+v", p)
+	}
+	want := SelfJoinSize(typical, vec.L2, 0.05, 0, 1)
+	if p.Pairs < want/4 || p.Pairs > want*4 {
+		t.Errorf("predicted %d pairs, sampling estimator says %d", p.Pairs, want)
+	}
+}
+
+// TestSketchPlannerAgreesWithSampling is the acceptance sweep: across
+// the EXPERIMENTS.md workload regimes (F1 tiny-N crossover, 1-D, the F3
+// unselective convergence, F2-style clustered selective joins), the
+// sketch-backed planner must pick the same algorithm as the sampling
+// planner — and do it without a single brute-force sample join.
+func TestSketchPlannerAgreesWithSampling(t *testing.T) {
+	workloads := []struct {
+		name string
+		cfg  synth.Config
+		eps  float64
+	}{
+		{"F1-tiny", synth.Config{N: 100, Dims: 5, Seed: 40, Dist: synth.Uniform}, 0.1},
+		{"one-dim", synth.Config{N: 5000, Dims: 1, Seed: 41, Dist: synth.Uniform}, 0.01},
+		{"F3-unselective", synth.Config{N: 5000, Dims: 3, Seed: 42, Dist: synth.Uniform}, 0.6},
+		{"F2-clustered-d4", synth.Config{N: 5000, Dims: 4, Seed: 43, Dist: synth.GaussianClusters}, 0.05},
+		{"F1-uniform-d8", synth.Config{N: 5000, Dims: 8, Seed: 44, Dist: synth.Uniform}, 0.1},
+		{"F2-clustered-d16", synth.Config{N: 5000, Dims: 16, Seed: 45, Dist: synth.GaussianClusters}, 0.05},
+	}
+	for _, w := range workloads {
+		ds := synth.Generate(w.cfg)
+		sampled := Plan(ds, vec.L2, w.eps, 1)
+		sk := sketch.FromDataset(ds, sketch.Config{})
+		before := SampleJoins()
+		sketched := PlanSketch(sk, ds.Len(), vec.L2, w.eps)
+		if ran := SampleJoins() - before; ran != 0 {
+			t.Errorf("%s: sketch planner ran %d sample joins", w.name, ran)
+		}
+		if sketched.Algorithm != sampled.Algorithm {
+			t.Errorf("%s: sketch chose %s (sel %.4f), sampling chose %s (sel %.4f)",
+				w.name, sketched.Algorithm, sketched.Selectivity, sampled.Algorithm, sampled.Selectivity)
+		}
+		if !sketched.Sketched {
+			t.Errorf("%s: prediction not marked sketched", w.name)
+		}
+	}
+}
+
+// TestPlanJoinSketch covers the two-set sketch planner's shape.
+func TestPlanJoinSketch(t *testing.T) {
+	a := synth.Generate(synth.Config{N: 3000, Dims: 4, Seed: 50, Dist: synth.GaussianClusters})
+	b := synth.Generate(synth.Config{N: 3000, Dims: 4, Seed: 50, Dist: synth.GaussianClusters})
+	ska := sketch.FromDataset(a, sketch.Config{})
+	skb := sketch.FromDataset(b, sketch.Config{Seed: 7})
+	sampled := PlanJoin(a, b, vec.L2, 0.1, 1)
+	sketched := PlanJoinSketch(ska, skb, a.Len(), b.Len(), vec.L2, 0.1)
+	if sketched.Algorithm != sampled.Algorithm {
+		t.Errorf("sketch chose %s, sampling chose %s", sketched.Algorithm, sampled.Algorithm)
+	}
+	if sketched.Pairs < 0 {
+		t.Errorf("no pair prediction: %+v", sketched)
 	}
 }
 

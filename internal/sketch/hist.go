@@ -1,0 +1,73 @@
+package sketch
+
+import "math"
+
+// The distance histograms are log₂-spaced: histPerOctave sub-buckets per
+// doubling across exponents [histMinExp, histMaxExp), plus a bucket for
+// (near-)zero distances and one for overflow. Each bucket spans a factor
+// of 2^(1/8) ≈ 1.09 in distance, so even before the in-bucket
+// interpolation a query threshold is resolved to within ~9% of its
+// position — far inside the factor-level accuracy the estimators promise.
+const (
+	histPerOctave = 8
+	histMinExp    = -60
+	histMaxExp    = 60
+	histBuckets   = (histMaxExp - histMinExp) * histPerOctave
+)
+
+// histogram accumulates sampled pair distances for one metric.
+type histogram struct {
+	// zero counts distances below 2^histMinExp (including exact zeros):
+	// they qualify at any eps the library accepts.
+	zero int64
+	// over counts distances at or beyond 2^histMaxExp.
+	over    int64
+	buckets [histBuckets]int64
+}
+
+// add records one distance.
+func (h *histogram) add(v float64) {
+	switch {
+	case !(v >= 0): // NaN guard; distances are never negative
+		return
+	case v < math.Ldexp(1, histMinExp):
+		h.zero++
+	case v >= math.Ldexp(1, histMaxExp):
+		h.over++
+	default:
+		i := int((math.Log2(v) - histMinExp) * histPerOctave)
+		if i < 0 {
+			i = 0
+		} else if i >= histBuckets {
+			i = histBuckets - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// fracAtMost returns the estimated fraction of the total recorded
+// distances that are ≤ eps, interpolating linearly inside the bucket
+// containing eps. total is the caller's record count (shared across
+// metrics by the sketch).
+func (h *histogram) fracAtMost(eps float64, total int64) float64 {
+	if total <= 0 || !(eps >= 0) {
+		return 0
+	}
+	count := float64(h.zero)
+	if eps >= math.Ldexp(1, histMinExp) {
+		pos := (math.Log2(eps) - histMinExp) * histPerOctave
+		if pos >= histBuckets {
+			count = float64(total) // everything, overflow included
+		} else {
+			i := int(pos)
+			for b := 0; b < i; b++ {
+				count += float64(h.buckets[b])
+			}
+			count += (pos - float64(i)) * float64(h.buckets[i])
+		}
+	}
+	if f := count / float64(total); f < 1 {
+		return f
+	}
+	return 1
+}

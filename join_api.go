@@ -87,19 +87,20 @@ func (o Options) toInternal(c *stats.Counters, ph *obsv.Phases) join.Options {
 }
 
 // fillStats overwrites o.Stats (when set) with the run's report.
-func (o Options) fillStats(algo Algorithm, snap stats.Snapshot, ph *obsv.Phases, pairsEmitted int64, elapsed time.Duration) {
+func (o Options) fillStats(p planned, snap stats.Snapshot, ph *obsv.Phases, pairsEmitted int64, elapsed time.Duration) {
 	if o.Stats == nil {
 		return
 	}
 	*o.Stats = JoinStats{
-		Algorithm:    algo,
-		DistComps:    snap.DistComps,
-		Candidates:   snap.Candidates,
-		NodeVisits:   snap.NodeVisits,
-		PairsEmitted: pairsEmitted,
-		BuildTime:    ph.Build(),
-		ProbeTime:    ph.Probe(),
-		Elapsed:      elapsed,
+		Algorithm:      p.algo,
+		DistComps:      snap.DistComps,
+		Candidates:     snap.Candidates,
+		NodeVisits:     snap.NodeVisits,
+		PairsEmitted:   pairsEmitted,
+		EstimatedPairs: p.est,
+		BuildTime:      ph.Build(),
+		ProbeTime:      ph.Probe(),
+		Elapsed:        elapsed,
 	}
 }
 
@@ -138,9 +139,10 @@ func SelfJoin(ds *Dataset, opt Options) (*Result, error) {
 	var counters stats.Counters
 	var phases obsv.Phases
 	iopt := opt.toInternal(&counters, &phases)
-	algo := resolveAlgorithm(ds, opt)
-	impl := registry[algo]
 	sp := opt.Trace.Child("simjoin.SelfJoin")
+	plan := planSelf(ds, opt, sp)
+	algo := plan.algo
+	impl := registry[algo]
 
 	watch := stats.Start()
 	if !opt.collect() {
@@ -156,7 +158,7 @@ func SelfJoin(ds *Dataset, opt Options) (*Result, error) {
 		}
 		elapsed := watch.Elapsed()
 		snap := counters.Snapshot()
-		opt.fillStats(algo, snap, &phases, sink.N(), elapsed)
+		opt.fillStats(plan, snap, &phases, sink.N(), elapsed)
 		finishSpan(sp, algo, snap, &phases, sink.N())
 		return countResult(sink.N(), snap, elapsed), nil
 	}
@@ -175,7 +177,7 @@ func SelfJoin(ds *Dataset, opt Options) (*Result, error) {
 	}
 	elapsed := watch.Elapsed()
 	snap := counters.Snapshot()
-	opt.fillStats(algo, snap, &phases, int64(len(collected)), elapsed)
+	opt.fillStats(plan, snap, &phases, int64(len(collected)), elapsed)
 	finishSpan(sp, algo, snap, &phases, int64(len(collected)))
 	return buildResult(collected, snap, elapsed, opt), nil
 }
@@ -240,9 +242,10 @@ func Join(a, b *Dataset, opt Options) (*Result, error) {
 	var counters stats.Counters
 	var phases obsv.Phases
 	iopt := opt.toInternal(&counters, &phases)
-	algo := resolveJoinAlgorithm(a, b, opt)
-	impl := registry[algo]
 	sp := opt.Trace.Child("simjoin.Join")
+	plan := planJoin(a, b, opt, sp)
+	algo := plan.algo
+	impl := registry[algo]
 	watch := stats.Start()
 	if !opt.collect() {
 		var sink pairs.Counter
@@ -253,7 +256,7 @@ func Join(a, b *Dataset, opt Options) (*Result, error) {
 		}
 		elapsed := watch.Elapsed()
 		snap := counters.Snapshot()
-		opt.fillStats(algo, snap, &phases, sink.N(), elapsed)
+		opt.fillStats(plan, snap, &phases, sink.N(), elapsed)
 		finishSpan(sp, algo, snap, &phases, sink.N())
 		return countResult(sink.N(), snap, elapsed), nil
 	}
@@ -269,7 +272,7 @@ func Join(a, b *Dataset, opt Options) (*Result, error) {
 	}
 	elapsed := watch.Elapsed()
 	snap := counters.Snapshot()
-	opt.fillStats(algo, snap, &phases, int64(len(collected)), elapsed)
+	opt.fillStats(plan, snap, &phases, int64(len(collected)), elapsed)
 	finishSpan(sp, algo, snap, &phases, int64(len(collected)))
 	return buildResult(collected, snap, elapsed, opt), nil
 }
@@ -297,9 +300,10 @@ func SelfJoinEach(ds *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
 	var counters stats.Counters
 	var phases obsv.Phases
 	iopt := opt.toInternal(&counters, &phases)
-	algo := resolveAlgorithm(ds, opt)
-	impl := registry[algo]
 	sp := opt.Trace.Child("simjoin.SelfJoinEach")
+	plan := planSelf(ds, opt, sp)
+	algo := plan.algo
+	impl := registry[algo]
 	watch := stats.Start()
 	var n int64
 	deliver := func(i, j int) {
@@ -321,7 +325,7 @@ func SelfJoinEach(ds *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
 	}
 	elapsed := watch.Elapsed()
 	snap := counters.Snapshot()
-	opt.fillStats(algo, snap, &phases, n, elapsed)
+	opt.fillStats(plan, snap, &phases, n, elapsed)
 	finishSpan(sp, algo, snap, &phases, n)
 	return eachStats(n, snap, elapsed), nil
 }
@@ -360,9 +364,10 @@ func JoinEach(a, b *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
 	var counters stats.Counters
 	var phases obsv.Phases
 	iopt := opt.toInternal(&counters, &phases)
-	algo := resolveJoinAlgorithm(a, b, opt)
-	impl := registry[algo]
 	sp := opt.Trace.Child("simjoin.JoinEach")
+	plan := planJoin(a, b, opt, sp)
+	algo := plan.algo
+	impl := registry[algo]
 	watch := stats.Start()
 	var n int64
 	deliver := func(i, j int) {
@@ -378,7 +383,7 @@ func JoinEach(a, b *Dataset, opt Options, fn func(i, j int)) (Stats, error) {
 	}
 	elapsed := watch.Elapsed()
 	snap := counters.Snapshot()
-	opt.fillStats(algo, snap, &phases, n, elapsed)
+	opt.fillStats(plan, snap, &phases, n, elapsed)
 	finishSpan(sp, algo, snap, &phases, n)
 	return eachStats(n, snap, elapsed), nil
 }
@@ -411,38 +416,82 @@ func buildResult(ps []pairs.Pair, snap stats.Snapshot, elapsed time.Duration, op
 	return res
 }
 
-// resolveAlgorithm maps the empty default and AlgorithmAuto to a concrete
-// algorithm for self-joins. Auto samples ds to estimate selectivity; the
-// chooser's rules are documented in internal/estimate.
-func resolveAlgorithm(ds *Dataset, opt Options) Algorithm {
+// autoSeed shuffles the subsample when AlgorithmAuto falls back to the
+// sampling estimator. Fixed so Auto is deterministic run to run.
+const autoSeed = 0x5e1ec7
+
+// planned is the outcome of pre-run planning: the concrete algorithm
+// that will run plus the result-size estimate that drove the choice
+// (est is -1 when the run decided without estimating — an explicit
+// algorithm was requested, or Auto short-circuited on a trivial input).
+type planned struct {
+	algo     Algorithm
+	est      int64
+	sketched bool
+}
+
+// planSelf maps the empty default and AlgorithmAuto to a concrete
+// algorithm for self-joins. Auto consults the dataset's resident sketch
+// when one is attached — zero passes over the raw points — and falls
+// back to the sampling estimator otherwise; the chooser's rules are
+// documented in internal/estimate. The decision is recorded as an
+// "estimate" child span of sp.
+func planSelf(ds *Dataset, opt Options, sp *trace.Span) planned {
 	switch opt.Algorithm {
 	case "":
-		return AlgorithmEKDB
+		return planned{algo: AlgorithmEKDB, est: -1}
 	case AlgorithmAuto:
-		if ds.Len() == 0 {
-			return AlgorithmBrute
+		esp := sp.Child("estimate")
+		var p estimate.Prediction
+		source := "sample"
+		if sk := ds.sk.internal(); sk != nil {
+			source = "sketch"
+			p = estimate.PlanSketch(sk, ds.Len(), opt.Metric.internal(), opt.Eps)
+		} else {
+			p = estimate.Plan(ds.internal(), opt.Metric.internal(), opt.Eps, autoSeed)
 		}
-		return Algorithm(estimate.Choose(ds.internal(), opt.Metric.internal(), opt.Eps, 0x5e1ec7))
+		finishEstimateSpan(esp, source, p)
+		return planned{algo: Algorithm(p.Algorithm), est: p.Pairs, sketched: p.Sketched}
 	default:
-		return opt.Algorithm
+		return planned{algo: opt.Algorithm, est: -1}
 	}
 }
 
-// resolveJoinAlgorithm is resolveAlgorithm for two-set joins: Auto samples
-// both sets, so a tiny outer set joined against a huge inner set is judged
-// by the workload's true size rather than the outer set alone.
-func resolveJoinAlgorithm(a, b *Dataset, opt Options) Algorithm {
+// planJoin is planSelf for two-set joins: Auto judges both sets, so a
+// tiny outer set joined against a huge inner set is judged by the
+// workload's true size rather than the outer set alone. The sketch path
+// needs a sketch on each side; anything less falls back to sampling.
+func planJoin(a, b *Dataset, opt Options, sp *trace.Span) planned {
 	switch opt.Algorithm {
 	case "":
-		return AlgorithmEKDB
+		return planned{algo: AlgorithmEKDB, est: -1}
 	case AlgorithmAuto:
-		if a.Len() == 0 || b.Len() == 0 {
-			return AlgorithmBrute
+		esp := sp.Child("estimate")
+		var p estimate.Prediction
+		source := "sample"
+		if ska, skb := a.sk.internal(), b.sk.internal(); ska != nil && skb != nil {
+			source = "sketch"
+			p = estimate.PlanJoinSketch(ska, skb, a.Len(), b.Len(), opt.Metric.internal(), opt.Eps)
+		} else {
+			p = estimate.PlanJoin(a.internal(), b.internal(), opt.Metric.internal(), opt.Eps, autoSeed)
 		}
-		return Algorithm(estimate.ChooseJoin(a.internal(), b.internal(), opt.Metric.internal(), opt.Eps, 0x5e1ec7))
+		finishEstimateSpan(esp, source, p)
+		return planned{algo: Algorithm(p.Algorithm), est: p.Pairs, sketched: p.Sketched}
 	default:
-		return opt.Algorithm
+		return planned{algo: opt.Algorithm, est: -1}
 	}
+}
+
+// finishEstimateSpan seals the planner's span: where the estimate came
+// from, what it predicted, and what the chooser picked.
+func finishEstimateSpan(sp *trace.Span, source string, p estimate.Prediction) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("source", source)
+	sp.SetAttr("algorithm", string(p.Algorithm))
+	sp.AddCounter("predicted_pairs", p.Pairs)
+	sp.End()
 }
 
 // DefaultWorkers returns the worker count the parallel variants use for

@@ -170,6 +170,12 @@ type JoinStats struct {
 	// PairsEmitted is the number of result pairs the run produced
 	// (before any response-level truncation).
 	PairsEmitted int64
+	// EstimatedPairs is the planner's pre-run result-size prediction, or
+	// -1 when the run decided without one (an explicit algorithm was
+	// requested, or Auto short-circuited on a trivial input). Compare
+	// against PairsEmitted to judge the estimator — simjoind exports the
+	// ratio as a histogram.
+	EstimatedPairs int64
 	// BuildTime is the wall time spent constructing the join's data
 	// organization. Zero for brute force, which has none.
 	BuildTime time.Duration
