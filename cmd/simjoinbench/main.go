@@ -9,10 +9,16 @@
 // batch against a standing index versus a full rebuild plus re-probe.
 // Two estimator cases track the resident join-size sketch: the cost of
 // absorbing a 64-point batch, and the cost of one sketch-served plan.
+// High-dimensional self-join cases (d32/d64, plus float32-mode variants)
+// and three vec/ kernel microbenchmarks pin the flat distance kernels
+// directly (see docs/KERNELS.md).
 //
-//	simjoinbench [-quick] [-out BENCH_2006-01-02.json]
+//	simjoinbench [-quick] [-only vec/] [-out BENCH_2006-01-02.json]
 //	simjoinbench -quick -baseline bench/BENCH_xxx.json [-threshold 0.2]
 //	simjoinbench -compare old.json new.json [-threshold 0.2]
+//
+// -only restricts both the run and the gate to cases with a name prefix,
+// so the kernel microbenchmarks can be gated as their own CI job.
 //
 // With -baseline, the freshly measured suite is compared case-by-case
 // against the committed baseline and the process exits 1 when any case's
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	"simjoin"
+	"simjoin/internal/vec"
 )
 
 // gitCommit reports the working tree's short revision, best-effort:
@@ -94,6 +101,7 @@ type spec struct {
 	twoSet  bool
 	workers int
 	stream  bool
+	f32     bool
 }
 
 // suite enumerates the pinned cases. Workers and naming are fixed here;
@@ -124,6 +132,25 @@ func suite() []spec {
 			}
 		}
 	}
+	// High-dimensional self-join cases exercise the flat kernels where
+	// memory bandwidth dominates; the f32 variant measures the float32
+	// kernel mode end to end (mirror build included, amortized over runs).
+	for _, d := range []int{32, 64} {
+		for _, mode := range []string{"collect", "stream"} {
+			out = append(out, spec{
+				name:    fmt.Sprintf("self/d%d/serial/%s", d, mode),
+				dims:    d,
+				workers: 1,
+				stream:  mode == "stream",
+			})
+		}
+		out = append(out, spec{
+			name:    fmt.Sprintf("self/d%d/serial/collect/f32", d),
+			dims:    d,
+			workers: 1,
+			f32:     true,
+		})
+	}
 	return out
 }
 
@@ -135,9 +162,15 @@ func sizes(dims int, quick bool) (nSelf, nA, nB int, eps float64) {
 	if quick {
 		nSelf, nA, nB = 800, 600, 400
 	}
-	eps = 0.15
-	if dims == 16 {
+	switch dims {
+	case 16:
 		eps = 0.22
+	case 32:
+		eps = 0.31
+	case 64:
+		eps = 0.44
+	default:
+		eps = 0.15
 	}
 	return
 }
@@ -164,7 +197,7 @@ func run(sp spec, quick bool) (Case, error) {
 		}
 	}
 	var js simjoin.JoinStats
-	opt := simjoin.Options{Eps: eps, Workers: sp.workers, Stats: &js}
+	opt := simjoin.Options{Eps: eps, Workers: sp.workers, Float32: sp.f32, Stats: &js}
 	var runErr error
 	one := func() {
 		switch {
@@ -413,20 +446,98 @@ func runEstimate(quick bool) ([]Case, error) {
 	return out, nil
 }
 
+// runVec measures the flat distance kernels in isolation, pinned at
+// dimensionality 32 over clustered data, so a kernel-level regression
+// fails the gate even when the end-to-end cases absorb it:
+//
+//	vec/l2-flat       — full-accumulation L2 probes (threshold ∞): raw
+//	                    kernel throughput, no early exit ever taken
+//	vec/l2-early-exit — the same probes at the suite's d32 ε: the
+//	                    partial-distance early exit fires on nearly every
+//	                    candidate
+//	vec/f32           — vec/l2-flat over the float32 mirror
+func runVec(quick bool) ([]Case, error) {
+	const dims = 32
+	n := 1200
+	if quick {
+		n = 600
+	}
+	ds, err := simjoin.Synthetic("clustered", n, dims, 14)
+	if err != nil {
+		return nil, err
+	}
+	benches := []struct {
+		name string
+		f    vec.Flat
+		th   float64
+	}{
+		{"vec/l2-flat", ds.Internal().KernelView(false), math.Inf(1)},
+		{"vec/l2-early-exit", ds.Internal().KernelView(false), vec.Threshold(vec.L2, 0.31)},
+		{"vec/f32", ds.Internal().KernelView(true), math.Inf(1)},
+	}
+	var out []Case
+	for _, bc := range benches {
+		f, th := bc.f, bc.th
+		var pairs int64
+		one := func() {
+			var res int64
+			for i := 0; i < n; i++ {
+				_, r := vec.ProbeRangeFlat(vec.L2, f, int32(i), f, 0, n, th, func(int32) {})
+				res += r
+			}
+			pairs = res
+		}
+		one()
+		if pairs == 0 {
+			return nil, fmt.Errorf("%s: degenerate benchmark, no pairs", bc.name)
+		}
+		var r testing.BenchmarkResult
+		best := math.Inf(1)
+		for rep := 0; rep < benchRepeats; rep++ {
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					one()
+				}
+			})
+			if ns := float64(res.T.Nanoseconds()) / float64(res.N); ns < best {
+				best, r = ns, res
+			}
+		}
+		out = append(out, Case{
+			Name:        bc.name,
+			Iterations:  r.N,
+			NsPerOp:     best,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Pairs:       pairs,
+		})
+	}
+	return out, nil
+}
+
 // compare gates next against base: any case whose ns/op grew by more
-// than threshold (fraction, e.g. 0.2 = +20%) is a regression. It returns
-// the number of regressions after printing a per-case table.
-func compare(base, next *Report, threshold float64) int {
+// than threshold (fraction, e.g. 0.2 = +20%) is a regression. only, when
+// non-empty, restricts the gate to cases with that name prefix — on BOTH
+// sides, so a filtered run is not failed for the baseline cases it never
+// measured. It returns the number of regressions after printing a
+// per-case table.
+func compare(base, next *Report, threshold float64, only string) int {
 	if base.Quick != next.Quick {
 		fmt.Fprintf(os.Stderr, "simjoinbench: refusing to compare quick=%v against quick=%v — rerun with matching modes\n", next.Quick, base.Quick)
 		return 1
 	}
 	baseBy := make(map[string]Case, len(base.Cases))
 	for _, c := range base.Cases {
-		baseBy[c.Name] = c
+		if strings.HasPrefix(c.Name, only) {
+			baseBy[c.Name] = c
+		}
 	}
 	regressions := 0
 	for _, c := range next.Cases {
+		if !strings.HasPrefix(c.Name, only) {
+			continue
+		}
 		b, ok := baseBy[c.Name]
 		if !ok {
 			fmt.Printf("%-28s NEW        %12.0f ns/op\n", c.Name, c.NsPerOp)
@@ -471,6 +582,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "compare the fresh run against this report and exit 1 on regression")
 		threshold = flag.Float64("threshold", 0.20, "allowed ns/op growth before a case counts as regressed")
 		comp      = flag.Bool("compare", false, "compare two existing reports (old new) instead of running")
+		only      = flag.String("only", "", "run (and gate) only cases whose name has this prefix, e.g. vec/")
 	)
 	flag.Parse()
 
@@ -489,11 +601,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "simjoinbench:", err)
 			os.Exit(2)
 		}
-		if n := compare(old, next, *threshold); n > 0 {
+		if n := compare(old, next, *threshold, *only); n > 0 {
 			fmt.Fprintf(os.Stderr, "simjoinbench: %d regression(s) beyond +%.0f%%\n", n, *threshold*100)
 			os.Exit(1)
 		}
 		return
+	}
+
+	// wanted reports whether a case name passes the -only filter;
+	// groupWanted whether a whole group (by its name prefix) can contain a
+	// passing case, so filtered runs skip the work entirely.
+	wanted := func(name string) bool { return strings.HasPrefix(name, *only) }
+	groupWanted := func(prefix string) bool {
+		return *only == "" || strings.HasPrefix(prefix, *only) || strings.HasPrefix(*only, prefix)
 	}
 
 	report := &Report{
@@ -506,32 +626,44 @@ func main() {
 		Commit: gitCommit(),
 		Quick:  *quick,
 	}
+	add := func(c Case) {
+		if !wanted(c.Name) {
+			return
+		}
+		fmt.Printf("%-28s %12.0f ns/op  %8d allocs/op  %10d pairs\n", c.Name, c.NsPerOp, c.AllocsPerOp, c.Pairs)
+		report.Cases = append(report.Cases, c)
+	}
 	for _, sp := range suite() {
+		if !wanted(sp.name) {
+			continue
+		}
 		c, err := run(sp, *quick)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simjoinbench:", err)
 			os.Exit(2)
 		}
-		fmt.Printf("%-28s %12.0f ns/op  %8d allocs/op  %10d pairs\n", c.Name, c.NsPerOp, c.AllocsPerOp, c.Pairs)
-		report.Cases = append(report.Cases, c)
+		add(c)
 	}
-	liveCases, err := runLive(*quick)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "simjoinbench:", err)
-		os.Exit(2)
+	groups := []struct {
+		prefix string
+		run    func(bool) ([]Case, error)
+	}{
+		{"live/", runLive},
+		{"estimate/", runEstimate},
+		{"vec/", runVec},
 	}
-	for _, c := range liveCases {
-		fmt.Printf("%-28s %12.0f ns/op  %8d allocs/op  %10d pairs\n", c.Name, c.NsPerOp, c.AllocsPerOp, c.Pairs)
-		report.Cases = append(report.Cases, c)
-	}
-	estCases, err := runEstimate(*quick)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "simjoinbench:", err)
-		os.Exit(2)
-	}
-	for _, c := range estCases {
-		fmt.Printf("%-28s %12.0f ns/op  %8d allocs/op  %10d pairs\n", c.Name, c.NsPerOp, c.AllocsPerOp, c.Pairs)
-		report.Cases = append(report.Cases, c)
+	for _, g := range groups {
+		if !groupWanted(g.prefix) {
+			continue
+		}
+		cases, err := g.run(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simjoinbench:", err)
+			os.Exit(2)
+		}
+		for _, c := range cases {
+			add(c)
+		}
 	}
 
 	path := *out
@@ -555,7 +687,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "simjoinbench:", err)
 			os.Exit(2)
 		}
-		if n := compare(base, report, *threshold); n > 0 {
+		if n := compare(base, report, *threshold, *only); n > 0 {
 			fmt.Fprintf(os.Stderr, "simjoinbench: %d regression(s) beyond +%.0f%%\n", n, *threshold*100)
 			os.Exit(1)
 		}

@@ -22,20 +22,17 @@ func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	probe := time.Now()
 	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	n := ds.Len()
-	var cand, comps, res int64
-	for i := 0; i < n; i++ {
-		pi := ds.Point(i)
-		for j := i + 1; j < n; j++ {
-			cand++
-			comps++
-			if vec.Within(opt.Metric, pi, ds.Point(j), t) {
-				res++
-				sink.Emit(i, j)
-			}
-		}
+	f := ds.KernelView(opt.Float32)
+	var cand, res int64
+	var i int32
+	emit := func(j int32) { sink.Emit(int(i), int(j)) }
+	for i = 0; int(i) < n; i++ {
+		pc, pr := vec.ProbeRangeFlat(opt.Metric, f, i, f, int(i)+1, n, t, emit)
+		cand += pc
+		res += pr
 	}
 	c.AddCandidates(cand)
-	c.AddDistComps(comps)
+	c.AddDistComps(cand)
 	c.AddResults(res)
 }
 
@@ -47,19 +44,17 @@ func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	probe := time.Now()
 	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	na, nb := a.Len(), b.Len()
-	var cand, comps, res int64
-	for i := 0; i < na; i++ {
-		pi := a.Point(i)
-		for j := 0; j < nb; j++ {
-			cand++
-			comps++
-			if vec.Within(opt.Metric, pi, b.Point(j), t) {
-				res++
-				sink.Emit(i, j)
-			}
-		}
+	fa := a.KernelView(opt.Float32)
+	fb := b.KernelView(opt.Float32)
+	var cand, res int64
+	var i int32
+	emit := func(j int32) { sink.Emit(int(i), int(j)) }
+	for i = 0; int(i) < na; i++ {
+		pc, pr := vec.ProbeRangeFlat(opt.Metric, fa, i, fb, 0, nb, t, emit)
+		cand += pc
+		res += pr
 	}
 	c.AddCandidates(cand)
-	c.AddDistComps(comps)
+	c.AddDistComps(cand)
 	c.AddResults(res)
 }

@@ -34,9 +34,10 @@ func (t *Tree) insert(n *node, i int32, depth int) *node {
 	}
 	if n.leaf() {
 		// Keep the leaf sorted on the sweep dimension.
-		v := t.ds.Point(int(i))[t.sweepDim]
+		data, dims := t.ds.Flat(), t.ds.Dims()
+		v := data[int(i)*dims+t.sweepDim]
 		at := sort.Search(len(n.pts), func(k int) bool {
-			return t.ds.Point(int(n.pts[k]))[t.sweepDim] > v
+			return data[int(n.pts[k])*dims+t.sweepDim] > v
 		})
 		n.pts = append(n.pts, 0)
 		copy(n.pts[at+1:], n.pts[at:])
@@ -126,6 +127,9 @@ func (t *Tree) RangeQuery(q []float64, metric vec.Metric, radius float64, counte
 		return
 	}
 	th := vec.Threshold(metric, radius)
+	f := t.ds.FlatView()
+	data, dims := f.Data, f.Dims
+	emit := func(yi int32) { visit(int(yi)) }
 	var visits, comps int64
 	var rec func(n *node, depth int)
 	rec = func(n *node, depth int) {
@@ -134,18 +138,14 @@ func (t *Tree) RangeQuery(q []float64, metric vec.Metric, radius float64, counte
 			v := q[t.sweepDim]
 			// The leaf is sweep-sorted: only the window [v−r, v+r] can hit.
 			lo := sort.Search(len(n.pts), func(k int) bool {
-				return t.ds.Point(int(n.pts[k]))[t.sweepDim] >= v-radius
+				return data[int(n.pts[k])*dims+t.sweepDim] >= v-radius
 			})
-			for _, i := range n.pts[lo:] {
-				p := t.ds.Point(int(i))
-				if p[t.sweepDim] > v+radius {
-					break
-				}
-				comps++
-				if vec.Within(metric, q, p, th) {
-					visit(int(i))
-				}
+			hi := lo
+			for hi < len(n.pts) && data[int(n.pts[hi])*dims+t.sweepDim] <= v+radius {
+				hi++
 			}
+			c, _ := vec.ProbeQueryFlat(metric, q, f, n.pts[lo:hi], th, emit)
+			comps += c
 			return
 		}
 		dim := t.order[depth]

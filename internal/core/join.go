@@ -96,7 +96,7 @@ func JoinTrees(ta, tb *Tree, opt join.Options, sink pairs.Sink) {
 	probe := time.Now()
 	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 	j := ta.newJoiner(opt, sink)
-	j.dsB = tb.ds
+	j.fb = tb.ds.KernelView(opt.Float32)
 	j.crossNodes(ta.root, tb.root, 0, false)
 	j.flush(opt)
 }
@@ -106,7 +106,7 @@ func JoinTrees(ta, tb *Tree, opt join.Options, sink pairs.Sink) {
 // pairs stay (a-index, b-index) even when the traversal descends the B tree
 // while holding a flat A point list.
 type joiner struct {
-	dsA, dsB *dataset.Dataset
+	fa, fb   vec.Flat // kernel views of the A and B datasets
 	metric   vec.Metric
 	eps      float64 // stripe width: the ε the tree was built with
 	qeps     float64 // query threshold: ≤ eps; drives windows and tests
@@ -115,6 +115,10 @@ type joiner struct {
 	order    []int
 	frameLo  []float64 // stripe-grid origin per dimension (shared frame)
 	sink     pairs.Sink
+
+	// emitFwd/emitRev adapt the sink to the kernels' int32 callbacks, built
+	// once per joiner so the leaf sweeps don't allocate a closure per call.
+	emitFwd, emitRev func(x, y int32)
 
 	// bucketScratch[depth] is the stable-bucketing buffer for ptsVsNode
 	// calls at that depth. The traversal is depth-first, so one buffer per
@@ -207,10 +211,11 @@ func (j *joiner) ptsVsNode(pts []int32, n *node, depth int, flip bool) {
 		j.crossSweep(pts, n.pts, flip)
 		return
 	}
-	ptsDS := j.dsA
+	ptsF := j.fa
 	if flip {
-		ptsDS = j.dsB
+		ptsF = j.fb
 	}
+	data, dims := ptsF.Data, ptsF.Dims
 	dim := j.order[depth]
 	s := len(n.children)
 	// Stable counting-sort bucketing into the depth's scratch buffer:
@@ -219,7 +224,7 @@ func (j *joiner) ptsVsNode(pts []int32, n *node, depth int, flip bool) {
 	buf := j.scratchAt(depth, len(pts))
 	counts := make([]int32, s+1)
 	for _, i := range pts {
-		counts[j.stripeOfDim(ptsDS.Point(int(i))[dim], dim, s)+1]++
+		counts[j.stripeOfDim(data[int(i)*dims+dim], dim, s)+1]++
 	}
 	for st := 0; st < s; st++ {
 		counts[st+1] += counts[st]
@@ -227,7 +232,7 @@ func (j *joiner) ptsVsNode(pts []int32, n *node, depth int, flip bool) {
 	cur := make([]int32, s)
 	copy(cur, counts[:s])
 	for _, i := range pts {
-		st := j.stripeOfDim(ptsDS.Point(int(i))[dim], dim, s)
+		st := j.stripeOfDim(data[int(i)*dims+dim], dim, s)
 		buf[cur[st]] = i
 		cur[st]++
 	}
@@ -263,56 +268,22 @@ func (j *joiner) stripeOfDim(v float64, dim, stripes int) int {
 func (j *joiner) boxLo(dim int) float64 { return j.frameLo[dim] }
 
 // leafSelf reports in-range pairs inside one sweep-sorted leaf: for each
-// point, only the followers within the ε sweep window are tested.
+// point, only the followers within the ε sweep window are tested. The whole
+// sweep runs inside one metric-specialized flat kernel.
 func (j *joiner) leafSelf(pts []int32) {
-	ds := j.dsA
-	for a := 0; a < len(pts); a++ {
-		pa := ds.Point(int(pts[a]))
-		x := pa[j.sweepDim]
-		for b := a + 1; b < len(pts); b++ {
-			pb := ds.Point(int(pts[b]))
-			if pb[j.sweepDim]-x > j.qeps {
-				break
-			}
-			j.cand++
-			if vec.Within(j.metric, pa, pb, j.th) {
-				j.res++
-				j.sink.Emit(int(pts[a]), int(pts[b]))
-			}
-		}
-	}
+	cand, res := vec.SelfSweepFlat(j.metric, j.fa, pts, j.sweepDim, j.qeps, j.th, j.emitFwd)
+	j.cand += cand
+	j.res += res
 }
 
 // crossSweep merges two sweep-sorted lists, testing only pairs whose sweep
 // coordinates differ by at most ε. flip reports that x is from the B side.
 func (j *joiner) crossSweep(x, y []int32, flip bool) {
-	dsX, dsY := j.dsA, j.dsB
+	fx, fy, emit := j.fa, j.fb, j.emitFwd
 	if flip {
-		dsX, dsY = j.dsB, j.dsA
+		fx, fy, emit = j.fb, j.fa, j.emitRev
 	}
-	lo := 0
-	for _, xiRaw := range x {
-		xi := int(xiRaw)
-		px := dsX.Point(xi)
-		v := px[j.sweepDim]
-		for lo < len(y) && dsY.Point(int(y[lo]))[j.sweepDim] < v-j.qeps {
-			lo++
-		}
-		for w := lo; w < len(y); w++ {
-			yi := int(y[w])
-			py := dsY.Point(yi)
-			if py[j.sweepDim]-v > j.qeps {
-				break
-			}
-			j.cand++
-			if vec.Within(j.metric, px, py, j.th) {
-				j.res++
-				if flip {
-					j.sink.Emit(yi, xi)
-				} else {
-					j.sink.Emit(xi, yi)
-				}
-			}
-		}
-	}
+	cand, res := vec.CrossSweepFlat(j.metric, fx, fy, x, y, j.sweepDim, j.qeps, j.th, emit)
+	j.cand += cand
+	j.res += res
 }

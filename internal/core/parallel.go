@@ -27,6 +27,11 @@ func (t *Tree) SelfJoinParallel(opt join.Options, newSink func() pairs.Sink) {
 	}
 	probe := time.Now()
 	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
+	if opt.Float32 {
+		// Warm the float32 mirror before any worker spawns: the lazy build
+		// inside KernelView must not race.
+		t.ds.Mirror32()
+	}
 	if t.root.leaf() {
 		j := t.newJoiner(opt, newSink())
 		j.selfNode(t.root, 0)
@@ -92,9 +97,14 @@ func JoinTreesParallel(ta, tb *Tree, opt join.Options, newSink func() pairs.Sink
 	}
 	probe := time.Now()
 	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
+	if opt.Float32 {
+		// Warm both mirrors before any worker spawns (see SelfJoinParallel).
+		ta.ds.Mirror32()
+		tb.ds.Mirror32()
+	}
 	newCrossJoiner := func(sink pairs.Sink) *joiner {
 		j := ta.newJoiner(opt, sink)
-		j.dsB = tb.ds
+		j.fb = tb.ds.KernelView(opt.Float32)
 		return j
 	}
 	if ta.root.leaf() || tb.root.leaf() {
@@ -149,10 +159,14 @@ func JoinTreesParallel(ta, tb *Tree, opt join.Options, newSink func() pairs.Sink
 }
 
 func (t *Tree) newJoiner(opt join.Options, sink pairs.Sink) *joiner {
-	return &joiner{
-		dsA: t.ds, dsB: t.ds,
+	f := t.ds.KernelView(opt.Float32)
+	j := &joiner{
+		fa: f, fb: f,
 		metric: opt.Metric, eps: t.eps, qeps: opt.Eps, th: opt.Threshold(),
 		sweepDim: t.sweepDim, order: t.order, frameLo: t.box.Lo,
 		sink: sink,
 	}
+	j.emitFwd = func(x, y int32) { j.sink.Emit(int(x), int(y)) }
+	j.emitRev = func(x, y int32) { j.sink.Emit(int(y), int(x)) }
+	return j
 }

@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"simjoin/internal/dataset"
@@ -162,8 +163,9 @@ func (t *Tree) build(idx []int32, depth int) *node {
 	}
 	str := t.scratch[:len(idx)]
 	counts := make([]int32, s+1)
+	data, dims := t.ds.Flat(), t.ds.Dims()
 	for p, i := range idx {
-		st := int32(t.stripeOf(t.ds.Point(int(i))[dim], dim))
+		st := int32(t.stripeOf(data[int(i)*dims+dim], dim))
 		str[p] = st
 		counts[st+1]++
 	}
@@ -198,8 +200,20 @@ func (t *Tree) build(idx []int32, depth int) *node {
 
 func (t *Tree) makeLeaf(idx []int32) *node {
 	t.leaves++
-	sort.Slice(idx, func(a, b int) bool {
-		return t.ds.Point(int(idx[a]))[t.sweepDim] < t.ds.Point(int(idx[b]))[t.sweepDim]
+	// Fetched per call: Append can realloc the buffer between dynamic
+	// inserts, so the view must not be cached across tree operations.
+	data, dims, sd := t.ds.Flat(), t.ds.Dims(), t.sweepDim
+	// slices.SortFunc instantiates a concrete int32 sort — unlike
+	// sort.Slice's reflection path, which showed up in join profiles.
+	slices.SortFunc(idx, func(a, b int32) int {
+		va, vb := data[int(a)*dims+sd], data[int(b)*dims+sd]
+		switch {
+		case va < vb:
+			return -1
+		case va > vb:
+			return 1
+		}
+		return 0
 	})
 	return &node{pts: idx}
 }

@@ -123,20 +123,19 @@ func SelfJoinConfig(ds *dataset.Dataset, opt join.Options, cfg Config, sink pair
 	opt.Timing().AddBuild(time.Since(start))
 	probe := time.Now()
 	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
+	f := ds.KernelView(opt.Float32)
 	var cand, res int64
 	nb := make([]int32, g)
 	keyBuf := make([]byte, 0, 4*g)
+	var cur int32
+	emit := func(yi int32) { sink.Emit(int(cur), int(yi)) }
 	for key, members := range ix.cells {
 		// Within-cell pairs.
 		for a := 0; a < len(members); a++ {
-			pa := ds.Point(int(members[a]))
-			for b := a + 1; b < len(members); b++ {
-				cand++
-				if vec.Within(opt.Metric, pa, ds.Point(int(members[b])), t) {
-					res++
-					sink.Emit(int(members[a]), int(members[b]))
-				}
-			}
+			cur = members[a]
+			pc, pr := vec.ProbeListFlat(opt.Metric, f, cur, f, members[a+1:], t, emit)
+			cand += pc
+			res += pr
 		}
 		// Lexicographically-positive neighbors: each unordered cell pair once.
 		coords := decode(key, g)
@@ -149,14 +148,10 @@ func SelfJoinConfig(ds *dataset.Dataset, opt join.Options, cfg Config, sink pair
 				continue
 			}
 			for _, ia := range members {
-				pa := ds.Point(int(ia))
-				for _, ib := range other {
-					cand++
-					if vec.Within(opt.Metric, pa, ds.Point(int(ib)), t) {
-						res++
-						sink.Emit(int(ia), int(ib))
-					}
-				}
+				cur = ia
+				pc, pr := vec.ProbeListFlat(opt.Metric, f, ia, f, other, t, emit)
+				cand += pc
+				res += pr
 			}
 		}
 	}
@@ -189,13 +184,17 @@ func JoinConfig(a, b *dataset.Dataset, opt join.Options, cfg Config, sink pairs.
 	opt.Timing().AddBuild(time.Since(start))
 	probe := time.Now()
 	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
+	fa := a.KernelView(opt.Float32)
+	fb := b.KernelView(opt.Float32)
 	var cand, res int64
 	coords := make([]int32, g)
 	nb := make([]int32, g)
 	keyBuf := make([]byte, 0, 4*g)
+	var cur int32
+	emit := func(yi int32) { sink.Emit(int(cur), int(yi)) }
 	for i := 0; i < a.Len(); i++ {
-		pa := a.Point(i)
-		ix.cellOf(pa, coords)
+		ix.cellOf(a.Point(i), coords)
+		cur = int32(i)
 		for _, off := range offsets {
 			for k := range nb {
 				nb[k] = coords[k] + int32(off[k])
@@ -204,13 +203,9 @@ func JoinConfig(a, b *dataset.Dataset, opt join.Options, cfg Config, sink pairs.
 			if !ok {
 				continue
 			}
-			for _, ib := range members {
-				cand++
-				if vec.Within(opt.Metric, pa, b.Point(int(ib)), t) {
-					res++
-					sink.Emit(i, int(ib))
-				}
-			}
+			pc, pr := vec.ProbeListFlat(opt.Metric, fa, cur, fb, members, t, emit)
+			cand += pc
+			res += pr
 		}
 	}
 	c.AddCandidates(cand)

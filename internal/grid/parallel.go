@@ -39,6 +39,10 @@ func JoinParallel(a, b *dataset.Dataset, opt join.Options, cfg Config, newSink f
 	opt.Timing().AddBuild(time.Since(start))
 	probe := time.Now()
 	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
+	// Warm both kernel views before any worker spawns: the lazy float32
+	// mirror build must not race.
+	fa := a.KernelView(opt.Float32)
+	fb := b.KernelView(opt.Float32)
 	workers := opt.WorkerCount()
 	if workers > a.Len() {
 		workers = a.Len()
@@ -53,9 +57,11 @@ func JoinParallel(a, b *dataset.Dataset, opt join.Options, cfg Config, newSink f
 			nb := make([]int32, g)
 			keyBuf := make([]byte, 0, 4*g)
 			var cand, res int64
+			var cur int32
+			emit := func(yi int32) { sink.Emit(int(cur), int(yi)) }
 			for i := w; i < a.Len(); i += workers {
-				pa := a.Point(i)
-				ix.cellOf(pa, coords)
+				ix.cellOf(a.Point(i), coords)
+				cur = int32(i)
 				for _, off := range offsets {
 					for k := range nb {
 						nb[k] = coords[k] + int32(off[k])
@@ -64,13 +70,9 @@ func JoinParallel(a, b *dataset.Dataset, opt join.Options, cfg Config, newSink f
 					if !ok {
 						continue
 					}
-					for _, ib := range members {
-						cand++
-						if vec.Within(opt.Metric, pa, b.Point(int(ib)), t) {
-							res++
-							sink.Emit(i, int(ib))
-						}
-					}
+					pc, pr := vec.ProbeListFlat(opt.Metric, fa, cur, fb, members, t, emit)
+					cand += pc
+					res += pr
 				}
 			}
 			c.AddCandidates(cand)
@@ -96,6 +98,9 @@ func SelfJoinParallel(ds *dataset.Dataset, opt join.Options, cfg Config, newSink
 	probe := time.Now()
 	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
 
+	// Warm the kernel view before any worker spawns: the lazy float32
+	// mirror build must not race.
+	f := ds.KernelView(opt.Float32)
 	keys := make([]string, 0, len(ix.cells))
 	for key := range ix.cells {
 		keys = append(keys, key)
@@ -119,17 +124,15 @@ func SelfJoinParallel(ds *dataset.Dataset, opt join.Options, cfg Config, newSink
 			nb := make([]int32, g)
 			keyBuf := make([]byte, 0, 4*g)
 			var cand, res int64
+			var cur int32
+			emit := func(yi int32) { sink.Emit(int(cur), int(yi)) }
 			for key := range work {
 				members := ix.cells[key]
 				for a := 0; a < len(members); a++ {
-					pa := ds.Point(int(members[a]))
-					for b := a + 1; b < len(members); b++ {
-						cand++
-						if vec.Within(opt.Metric, pa, ds.Point(int(members[b])), t) {
-							res++
-							sink.Emit(int(members[a]), int(members[b]))
-						}
-					}
+					cur = members[a]
+					pc, pr := vec.ProbeListFlat(opt.Metric, f, cur, f, members[a+1:], t, emit)
+					cand += pc
+					res += pr
 				}
 				coords := decode(key, g)
 				for _, off := range offsets {
@@ -141,14 +144,10 @@ func SelfJoinParallel(ds *dataset.Dataset, opt join.Options, cfg Config, newSink
 						continue
 					}
 					for _, ia := range members {
-						pa := ds.Point(int(ia))
-						for _, ib := range other {
-							cand++
-							if vec.Within(opt.Metric, pa, ds.Point(int(ib)), t) {
-								res++
-								sink.Emit(int(ia), int(ib))
-							}
-						}
+						cur = ia
+						pc, pr := vec.ProbeListFlat(opt.Metric, f, ia, f, other, t, emit)
+						cand += pc
+						res += pr
 					}
 				}
 			}

@@ -82,14 +82,15 @@ func (t *Tree) build(idx []int32) *node {
 	}
 	mid := len(idx) / 2
 	t.selectNth(idx, mid, dim)
-	val := t.ds.Point(int(idx[mid]))[dim]
+	data, dims := t.ds.Flat(), t.ds.Dims()
+	val := data[int(idx[mid])*dims+dim]
 	// If val is the dimension's minimum, splitting at it would leave the
 	// "< val" side empty; lift it to the next distinct value (one exists
 	// because extent > 0).
 	if val == box.Lo[dim] {
 		next := box.Hi[dim]
 		for _, i := range idx {
-			if v := t.ds.Point(int(i))[dim]; v > val && v < next {
+			if v := data[int(i)*dims+dim]; v > val && v < next {
 				next = v
 			}
 		}
@@ -100,7 +101,7 @@ func (t *Tree) build(idx []int32) *node {
 	// leak into the left (strictly-less) side.
 	lo := 0
 	for i := range idx {
-		if t.ds.Point(int(idx[i]))[dim] < val {
+		if data[int(idx[i])*dims+dim] < val {
 			idx[lo], idx[i] = idx[i], idx[lo]
 			lo++
 		}
@@ -116,15 +117,16 @@ func (t *Tree) build(idx []int32) *node {
 // nth by coordinate dim, with smaller elements before it and greater-or-
 // equal after (Hoare quickselect with middle pivot).
 func (t *Tree) selectNth(idx []int32, nth, dim int) {
+	data, dims := t.ds.Flat(), t.ds.Dims()
 	lo, hi := 0, len(idx)-1
 	for lo < hi {
-		pivot := t.ds.Point(int(idx[(lo+hi)/2]))[dim]
+		pivot := data[int(idx[(lo+hi)/2])*dims+dim]
 		i, j := lo, hi
 		for i <= j {
-			for t.ds.Point(int(idx[i]))[dim] < pivot {
+			for data[int(idx[i])*dims+dim] < pivot {
 				i++
 			}
-			for t.ds.Point(int(idx[j]))[dim] > pivot {
+			for data[int(idx[j])*dims+dim] > pivot {
 				j--
 			}
 			if i <= j {
@@ -171,17 +173,15 @@ func (t *Tree) Range(q []float64, metric vec.Metric, eps float64, counters *stat
 		panic(fmt.Sprintf("kdtree: query of dimension %d against %d-dim tree", len(q), t.ds.Dims()))
 	}
 	th := vec.Threshold(metric, eps)
+	f := t.ds.FlatView() // kdtree has no float32 mode; queries stay exact
+	emit := func(yi int32) { visit(int(yi)) }
 	var nodesVisited, comps int64
 	var rec func(n *node)
 	rec = func(n *node) {
 		nodesVisited++
 		if n.dim < 0 {
-			for _, i := range n.pts {
-				comps++
-				if vec.Within(metric, q, t.ds.Point(int(i)), th) {
-					visit(int(i))
-				}
-			}
+			c, _ := vec.ProbeQueryFlat(metric, q, f, n.pts, th, emit)
+			comps += c
 			return
 		}
 		if n.left.box.MinDistPoint(metric, q) <= eps {

@@ -7,7 +7,7 @@ package pairs
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -82,7 +82,7 @@ func (c *Collector) Emit(i, j int) {
 // Sorted returns the collected pairs in lexicographic order (sorting in
 // place).
 func (c *Collector) Sorted() []Pair {
-	sort.Slice(c.Pairs, func(a, b int) bool { return c.Pairs[a].Less(c.Pairs[b]) })
+	SortPairs(c.Pairs)
 	return c.Pairs
 }
 
@@ -122,13 +122,27 @@ func (s *Sharded) Merged() []Pair {
 	for _, sh := range s.shards {
 		out = append(out, sh.Pairs...)
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+	SortPairs(out)
 	return out
 }
 
-// SortPairs sorts a pair slice lexicographically in place.
+// SortPairs sorts a pair slice lexicographically in place. Pairs are packed
+// into uint64 keys (I in the high word) so the sort runs over machine words
+// instead of through a comparison callback — result sorting is a measurable
+// slice of collect-mode joins. Indexes are non-negative (they index a
+// dataset), so unsigned key order equals lexicographic pair order.
 func SortPairs(ps []Pair) {
-	sort.Slice(ps, func(a, b int) bool { return ps[a].Less(ps[b]) })
+	if len(ps) < 2 {
+		return
+	}
+	keys := make([]uint64, len(ps))
+	for i, p := range ps {
+		keys[i] = uint64(uint32(p.I))<<32 | uint64(uint32(p.J))
+	}
+	slices.Sort(keys)
+	for i, k := range keys {
+		ps[i] = Pair{I: int32(k >> 32), J: int32(k)}
+	}
 }
 
 // Dedup removes adjacent duplicates from a sorted pair slice, returning the

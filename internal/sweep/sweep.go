@@ -23,8 +23,9 @@ func sortedIndex(ds *dataset.Dataset, dim int) []int32 {
 	for i := range idx {
 		idx[i] = int32(i)
 	}
+	data, dims := ds.Flat(), ds.Dims()
 	sort.Slice(idx, func(a, b int) bool {
-		return ds.Point(int(idx[a]))[dim] < ds.Point(int(idx[b]))[dim]
+		return data[int(idx[a])*dims+dim] < data[int(idx[b])*dims+dim]
 	})
 	return idx
 }
@@ -40,24 +41,10 @@ func SelfJoin(ds *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	opt.Timing().AddBuild(time.Since(build))
 	probe := time.Now()
 	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
-	var cand, res int64
-	for a := 0; a < len(idx); a++ {
-		i := int(idx[a])
-		pi := ds.Point(i)
-		x := pi[0]
-		for b := a + 1; b < len(idx); b++ {
-			j := int(idx[b])
-			pj := ds.Point(j)
-			if pj[0]-x > opt.Eps {
-				break // sorted: no later point can be in the strip
-			}
-			cand++
-			if vec.Within(opt.Metric, pi, pj, t) {
-				res++
-				sink.Emit(i, j)
-			}
-		}
-	}
+	f := ds.KernelView(opt.Float32)
+	cand, res := vec.SelfSweepFlat(opt.Metric, f, idx, 0, opt.Eps, t, func(i, j int32) {
+		sink.Emit(int(i), int(j))
+	})
 	c.AddCandidates(cand)
 	c.AddDistComps(cand)
 	c.AddResults(res)
@@ -76,30 +63,11 @@ func Join(a, b *dataset.Dataset, opt join.Options, sink pairs.Sink) {
 	opt.Timing().AddBuild(time.Since(build))
 	probe := time.Now()
 	defer func() { opt.Timing().AddProbe(time.Since(probe)) }()
-	var cand, res int64
-	lo := 0
-	for _, aiRaw := range ia {
-		ai := int(aiRaw)
-		pa := a.Point(ai)
-		x := pa[0]
-		// Advance the window start past b-points below x−ε. The window start
-		// only moves forward because a is processed in ascending order.
-		for lo < len(ib) && b.Point(int(ib[lo]))[0] < x-opt.Eps {
-			lo++
-		}
-		for w := lo; w < len(ib); w++ {
-			bi := int(ib[w])
-			pb := b.Point(bi)
-			if pb[0]-x > opt.Eps {
-				break
-			}
-			cand++
-			if vec.Within(opt.Metric, pa, pb, t) {
-				res++
-				sink.Emit(ai, bi)
-			}
-		}
-	}
+	fa := a.KernelView(opt.Float32)
+	fb := b.KernelView(opt.Float32)
+	cand, res := vec.CrossSweepFlat(opt.Metric, fa, fb, ia, ib, 0, opt.Eps, t, func(ai, bi int32) {
+		sink.Emit(int(ai), int(bi))
+	})
 	c.AddCandidates(cand)
 	c.AddDistComps(cand)
 	c.AddResults(res)

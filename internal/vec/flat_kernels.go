@@ -1,0 +1,495 @@
+package vec
+
+// This file holds the generic loop bodies behind the Flat kernel entry
+// points. Each is instantiated once for float64 and once for float32 —
+// distinct GC shapes, so the compiler emits two independent tight loops.
+//
+// The L2 distance test is written out inline in every loop: the four-wide
+// unrolled accumulation is far past the inliner's budget as a helper, and
+// a per-candidate call is exactly the overhead this package exists to
+// remove. L1 and L∞ go through the shared predicates — they are off the
+// default path and their loop bodies are cheap either way.
+
+// selfSweepL2 is SelfSweepFlat's L2 loop: one sweep-sorted list against
+// itself.
+func selfSweepL2[F float](data []F, dims int, idx []int32, sweepDim int, eps, epsSq F, emit func(i, j int32)) (cand, res int64) {
+	if dims == 16 {
+		return selfSweepL2D16(data, idx, sweepDim, eps, epsSq, emit)
+	}
+	for a := 0; a+1 < len(idx); a++ {
+		ia := int(idx[a]) * dims
+		pa := data[ia : ia+dims : ia+dims]
+		x := pa[sweepDim]
+		for b := a + 1; b < len(idx); b++ {
+			ib := int(idx[b]) * dims
+			pb := data[ib : ib+dims : ib+dims]
+			if pb[sweepDim]-x > eps {
+				break
+			}
+			cand++
+			var s F
+			k := 0
+			ok := true
+			for ; k+8 <= dims; k += 8 {
+				d0 := pa[k] - pb[k]
+				d1 := pa[k+1] - pb[k+1]
+				d2 := pa[k+2] - pb[k+2]
+				d3 := pa[k+3] - pb[k+3]
+				s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+				d0 = pa[k+4] - pb[k+4]
+				d1 = pa[k+5] - pb[k+5]
+				d2 = pa[k+6] - pb[k+6]
+				d3 = pa[k+7] - pb[k+7]
+				s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+				if s > epsSq {
+					ok = false
+					break
+				}
+			}
+			if ok && k+4 <= dims {
+				d0 := pa[k] - pb[k]
+				d1 := pa[k+1] - pb[k+1]
+				d2 := pa[k+2] - pb[k+2]
+				d3 := pa[k+3] - pb[k+3]
+				s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+				k += 4
+				ok = s <= epsSq
+			}
+			if ok {
+				for ; k < dims; k++ {
+					d := pa[k] - pb[k]
+					s += d * d
+				}
+				if s <= epsSq {
+					res++
+					emit(idx[a], idx[b])
+				}
+			}
+		}
+	}
+	return
+}
+
+// crossSweepL2 is CrossSweepFlat's L2 loop: two sweep-sorted lists merged
+// with an ε window.
+func crossSweepL2[F float](dx, dy []F, dims int, xs, ys []int32, sweepDim int, eps, epsSq F, emit func(xi, yi int32)) (cand, res int64) {
+	if dims == 16 {
+		return crossSweepL2D16(dx, dy, xs, ys, sweepDim, eps, epsSq, emit)
+	}
+	lo := 0
+	for _, xr := range xs {
+		ix := int(xr) * dims
+		px := dx[ix : ix+dims : ix+dims]
+		v := px[sweepDim]
+		for lo < len(ys) && dy[int(ys[lo])*dims+sweepDim] < v-eps {
+			lo++
+		}
+		for w := lo; w < len(ys); w++ {
+			iy := int(ys[w]) * dims
+			py := dy[iy : iy+dims : iy+dims]
+			if py[sweepDim]-v > eps {
+				break
+			}
+			cand++
+			var s F
+			k := 0
+			ok := true
+			for ; k+8 <= dims; k += 8 {
+				d0 := px[k] - py[k]
+				d1 := px[k+1] - py[k+1]
+				d2 := px[k+2] - py[k+2]
+				d3 := px[k+3] - py[k+3]
+				s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+				d0 = px[k+4] - py[k+4]
+				d1 = px[k+5] - py[k+5]
+				d2 = px[k+6] - py[k+6]
+				d3 = px[k+7] - py[k+7]
+				s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+				if s > epsSq {
+					ok = false
+					break
+				}
+			}
+			if ok && k+4 <= dims {
+				d0 := px[k] - py[k]
+				d1 := px[k+1] - py[k+1]
+				d2 := px[k+2] - py[k+2]
+				d3 := px[k+3] - py[k+3]
+				s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+				k += 4
+				ok = s <= epsSq
+			}
+			if ok {
+				for ; k < dims; k++ {
+					d := px[k] - py[k]
+					s += d * d
+				}
+				if s <= epsSq {
+					res++
+					emit(xr, ys[w])
+				}
+			}
+		}
+	}
+	return
+}
+
+// selfSweepL2D16 is selfSweepL2 specialized to sixteen dimensions — the
+// point of the paper's evaluation, and the default high-d benchmark case.
+// Rows become array pointers so every trip count is a compile-time constant
+// and no bounds check survives; the accumulation is the SAME four-wide block
+// order and eight-dimension check spacing as the generic loop, fully
+// unrolled and written out inline (the unrolled test is far past the inliner
+// budget as a helper, and a per-candidate call costs as much as a block).
+// That ordering is load-bearing: the float32 oracle tests compare against
+// the generic predicate's rounding, term by term.
+func selfSweepL2D16[F float](data []F, idx []int32, sweepDim int, eps, epsSq F, emit func(i, j int32)) (cand, res int64) {
+	for a := 0; a+1 < len(idx); a++ {
+		ia := int(idx[a]) * 16
+		pa := (*[16]F)(data[ia:])
+		x := pa[sweepDim]
+		for b := a + 1; b < len(idx); b++ {
+			ib := int(idx[b]) * 16
+			pb := (*[16]F)(data[ib:])
+			if pb[sweepDim]-x > eps {
+				break
+			}
+			cand++
+			d0 := pa[0] - pb[0]
+			d1 := pa[1] - pb[1]
+			d2 := pa[2] - pb[2]
+			d3 := pa[3] - pb[3]
+			s := d0*d0 + d1*d1 + d2*d2 + d3*d3
+			d0 = pa[4] - pb[4]
+			d1 = pa[5] - pb[5]
+			d2 = pa[6] - pb[6]
+			d3 = pa[7] - pb[7]
+			s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+			if s > epsSq {
+				continue
+			}
+			d0 = pa[8] - pb[8]
+			d1 = pa[9] - pb[9]
+			d2 = pa[10] - pb[10]
+			d3 = pa[11] - pb[11]
+			s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+			d0 = pa[12] - pb[12]
+			d1 = pa[13] - pb[13]
+			d2 = pa[14] - pb[14]
+			d3 = pa[15] - pb[15]
+			s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+			if s <= epsSq {
+				res++
+				emit(idx[a], idx[b])
+			}
+		}
+	}
+	return
+}
+
+// crossSweepL2D16 is crossSweepL2 specialized to sixteen dimensions; see
+// selfSweepL2D16.
+func crossSweepL2D16[F float](dx, dy []F, xs, ys []int32, sweepDim int, eps, epsSq F, emit func(xi, yi int32)) (cand, res int64) {
+	lo := 0
+	for _, xr := range xs {
+		ix := int(xr) * 16
+		px := (*[16]F)(dx[ix:])
+		v := px[sweepDim]
+		for lo < len(ys) && dy[int(ys[lo])*16+sweepDim] < v-eps {
+			lo++
+		}
+		for w := lo; w < len(ys); w++ {
+			iy := int(ys[w]) * 16
+			py := (*[16]F)(dy[iy:])
+			if py[sweepDim]-v > eps {
+				break
+			}
+			cand++
+			d0 := px[0] - py[0]
+			d1 := px[1] - py[1]
+			d2 := px[2] - py[2]
+			d3 := px[3] - py[3]
+			s := d0*d0 + d1*d1 + d2*d2 + d3*d3
+			d0 = px[4] - py[4]
+			d1 = px[5] - py[5]
+			d2 = px[6] - py[6]
+			d3 = px[7] - py[7]
+			s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+			if s > epsSq {
+				continue
+			}
+			d0 = px[8] - py[8]
+			d1 = px[9] - py[9]
+			d2 = px[10] - py[10]
+			d3 = px[11] - py[11]
+			s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+			d0 = px[12] - py[12]
+			d1 = px[13] - py[13]
+			d2 = px[14] - py[14]
+			d3 = px[15] - py[15]
+			s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+			if s <= epsSq {
+				res++
+				emit(xr, ys[w])
+			}
+		}
+	}
+	return
+}
+
+// selfSweepL1 is SelfSweepFlat's L1 loop.
+func selfSweepL1[F float](data []F, dims int, idx []int32, sweepDim int, eps, th F, emit func(i, j int32)) (cand, res int64) {
+	for a := 0; a+1 < len(idx); a++ {
+		ia := int(idx[a]) * dims
+		pa := data[ia : ia+dims : ia+dims]
+		x := pa[sweepDim]
+		for b := a + 1; b < len(idx); b++ {
+			ib := int(idx[b]) * dims
+			pb := data[ib : ib+dims : ib+dims]
+			if pb[sweepDim]-x > eps {
+				break
+			}
+			cand++
+			if withinL1Gen(pa, pb, th) {
+				res++
+				emit(idx[a], idx[b])
+			}
+		}
+	}
+	return
+}
+
+// crossSweepL1 is CrossSweepFlat's L1 loop.
+func crossSweepL1[F float](dx, dy []F, dims int, xs, ys []int32, sweepDim int, eps, th F, emit func(xi, yi int32)) (cand, res int64) {
+	lo := 0
+	for _, xr := range xs {
+		ix := int(xr) * dims
+		px := dx[ix : ix+dims : ix+dims]
+		v := px[sweepDim]
+		for lo < len(ys) && dy[int(ys[lo])*dims+sweepDim] < v-eps {
+			lo++
+		}
+		for w := lo; w < len(ys); w++ {
+			iy := int(ys[w]) * dims
+			py := dy[iy : iy+dims : iy+dims]
+			if py[sweepDim]-v > eps {
+				break
+			}
+			cand++
+			if withinL1Gen(px, py, th) {
+				res++
+				emit(xr, ys[w])
+			}
+		}
+	}
+	return
+}
+
+// selfSweepLinf is SelfSweepFlat's L∞ loop.
+func selfSweepLinf[F float](data []F, dims int, idx []int32, sweepDim int, eps, th F, emit func(i, j int32)) (cand, res int64) {
+	for a := 0; a+1 < len(idx); a++ {
+		ia := int(idx[a]) * dims
+		pa := data[ia : ia+dims : ia+dims]
+		x := pa[sweepDim]
+		for b := a + 1; b < len(idx); b++ {
+			ib := int(idx[b]) * dims
+			pb := data[ib : ib+dims : ib+dims]
+			if pb[sweepDim]-x > eps {
+				break
+			}
+			cand++
+			if withinLinfGen(pa, pb, th) {
+				res++
+				emit(idx[a], idx[b])
+			}
+		}
+	}
+	return
+}
+
+// crossSweepLinf is CrossSweepFlat's L∞ loop.
+func crossSweepLinf[F float](dx, dy []F, dims int, xs, ys []int32, sweepDim int, eps, th F, emit func(xi, yi int32)) (cand, res int64) {
+	lo := 0
+	for _, xr := range xs {
+		ix := int(xr) * dims
+		px := dx[ix : ix+dims : ix+dims]
+		v := px[sweepDim]
+		for lo < len(ys) && dy[int(ys[lo])*dims+sweepDim] < v-eps {
+			lo++
+		}
+		for w := lo; w < len(ys); w++ {
+			iy := int(ys[w]) * dims
+			py := dy[iy : iy+dims : iy+dims]
+			if py[sweepDim]-v > eps {
+				break
+			}
+			cand++
+			if withinLinfGen(px, py, th) {
+				res++
+				emit(xr, ys[w])
+			}
+		}
+	}
+	return
+}
+
+// probeListL2 is ProbeListFlat's L2 loop: one point against an index list.
+func probeListL2[F float](dx []F, xi int, dy []F, dims int, ys []int32, epsSq F, emit func(yi int32)) (cand, res int64) {
+	ix := xi * dims
+	px := dx[ix : ix+dims : ix+dims]
+	for _, yr := range ys {
+		iy := int(yr) * dims
+		py := dy[iy : iy+dims : iy+dims]
+		cand++
+		var s F
+		k := 0
+		ok := true
+		for ; k+8 <= dims; k += 8 {
+			d0 := px[k] - py[k]
+			d1 := px[k+1] - py[k+1]
+			d2 := px[k+2] - py[k+2]
+			d3 := px[k+3] - py[k+3]
+			s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+			d0 = px[k+4] - py[k+4]
+			d1 = px[k+5] - py[k+5]
+			d2 = px[k+6] - py[k+6]
+			d3 = px[k+7] - py[k+7]
+			s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+			if s > epsSq {
+				ok = false
+				break
+			}
+		}
+		if ok && k+4 <= dims {
+			d0 := px[k] - py[k]
+			d1 := px[k+1] - py[k+1]
+			d2 := px[k+2] - py[k+2]
+			d3 := px[k+3] - py[k+3]
+			s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+			k += 4
+			ok = s <= epsSq
+		}
+		if ok {
+			for ; k < dims; k++ {
+				d := px[k] - py[k]
+				s += d * d
+			}
+			if s <= epsSq {
+				res++
+				emit(yr)
+			}
+		}
+	}
+	return
+}
+
+// probeListL1 is ProbeListFlat's L1 loop.
+func probeListL1[F float](dx []F, xi int, dy []F, dims int, ys []int32, th F, emit func(yi int32)) (cand, res int64) {
+	ix := xi * dims
+	px := dx[ix : ix+dims : ix+dims]
+	for _, yr := range ys {
+		iy := int(yr) * dims
+		cand++
+		if withinL1Gen(px, dy[iy:iy+dims:iy+dims], th) {
+			res++
+			emit(yr)
+		}
+	}
+	return
+}
+
+// probeListLinf is ProbeListFlat's L∞ loop.
+func probeListLinf[F float](dx []F, xi int, dy []F, dims int, ys []int32, th F, emit func(yi int32)) (cand, res int64) {
+	ix := xi * dims
+	px := dx[ix : ix+dims : ix+dims]
+	for _, yr := range ys {
+		iy := int(yr) * dims
+		cand++
+		if withinLinfGen(px, dy[iy:iy+dims:iy+dims], th) {
+			res++
+			emit(yr)
+		}
+	}
+	return
+}
+
+// probeRangeL2 is ProbeRangeFlat's L2 loop: one point against a contiguous
+// block, the stride-1 nested-loop kernel.
+func probeRangeL2[F float](dx []F, xi int, dy []F, dims int, lo, hi int, epsSq F, emit func(j int32)) (cand, res int64) {
+	ix := xi * dims
+	px := dx[ix : ix+dims : ix+dims]
+	for j := lo; j < hi; j++ {
+		iy := j * dims
+		py := dy[iy : iy+dims : iy+dims]
+		cand++
+		var s F
+		k := 0
+		ok := true
+		for ; k+8 <= dims; k += 8 {
+			d0 := px[k] - py[k]
+			d1 := px[k+1] - py[k+1]
+			d2 := px[k+2] - py[k+2]
+			d3 := px[k+3] - py[k+3]
+			s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+			d0 = px[k+4] - py[k+4]
+			d1 = px[k+5] - py[k+5]
+			d2 = px[k+6] - py[k+6]
+			d3 = px[k+7] - py[k+7]
+			s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+			if s > epsSq {
+				ok = false
+				break
+			}
+		}
+		if ok && k+4 <= dims {
+			d0 := px[k] - py[k]
+			d1 := px[k+1] - py[k+1]
+			d2 := px[k+2] - py[k+2]
+			d3 := px[k+3] - py[k+3]
+			s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+			k += 4
+			ok = s <= epsSq
+		}
+		if ok {
+			for ; k < dims; k++ {
+				d := px[k] - py[k]
+				s += d * d
+			}
+			if s <= epsSq {
+				res++
+				emit(int32(j))
+			}
+		}
+	}
+	return
+}
+
+// probeRangeL1 is ProbeRangeFlat's L1 loop.
+func probeRangeL1[F float](dx []F, xi int, dy []F, dims int, lo, hi int, th F, emit func(j int32)) (cand, res int64) {
+	ix := xi * dims
+	px := dx[ix : ix+dims : ix+dims]
+	for j := lo; j < hi; j++ {
+		iy := j * dims
+		cand++
+		if withinL1Gen(px, dy[iy:iy+dims:iy+dims], th) {
+			res++
+			emit(int32(j))
+		}
+	}
+	return
+}
+
+// probeRangeLinf is ProbeRangeFlat's L∞ loop.
+func probeRangeLinf[F float](dx []F, xi int, dy []F, dims int, lo, hi int, th F, emit func(j int32)) (cand, res int64) {
+	ix := xi * dims
+	px := dx[ix : ix+dims : ix+dims]
+	for j := lo; j < hi; j++ {
+		iy := j * dims
+		cand++
+		if withinLinfGen(px, dy[iy:iy+dims:iy+dims], th) {
+			res++
+			emit(int32(j))
+		}
+	}
+	return
+}
