@@ -12,6 +12,10 @@
 //
 //	simjoin -in a.csv -with b.csv -knn 5
 //
+// EXPLAIN — what would run and the predicted result size, no execution:
+//
+//	simjoin -in points.csv -eps 0.1 -algo auto -explain
+//
 // Output is one "i,j,dist" row per matching pair (suppress with -count).
 package main
 
@@ -39,8 +43,16 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress the statistics footer on stderr")
 		tracing  = flag.Bool("trace", false, "record a trace of the run and print its span tree on stderr")
 		knn      = flag.Int("knn", 0, "k-nearest-neighbor join instead of an ε-join (requires -with; ignores -eps)")
+		explain  = flag.Bool("explain", false, "print the plan — resolved algorithm and predicted result size — without running the join")
 	)
 	flag.Parse()
+	if *explain {
+		if err := runExplain(*inPath, *withPath, *eps, *metric, *algo, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "simjoin:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *knn > 0 {
 		if err := runKNN(*inPath, *withPath, *knn, *metric, *workers, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "simjoin:", err)
@@ -144,6 +156,47 @@ func run(inPath, withPath string, eps float64, metric, algo string, workers int,
 		fmt.Fprintf(stderr, "pairs=%d candidates=%d distcomps=%d nodevisits=%d elapsed=%s\n",
 			s.Results, s.Candidates, s.DistComps, s.NodeVisits, s.Elapsed)
 	}
+	return nil
+}
+
+// runExplain handles -explain: the library's EXPLAIN report — requested
+// vs resolved algorithm and the planner's size prediction — printed as
+// key=value lines, without executing the join.
+func runExplain(inPath, withPath string, eps float64, metric, algo string, stdout io.Writer) error {
+	if inPath == "" {
+		return fmt.Errorf("-in is required")
+	}
+	m, err := simjoin.ParseMetric(metric)
+	if err != nil {
+		return err
+	}
+	a, err := simjoin.Load(inPath)
+	if err != nil {
+		return fmt.Errorf("loading %s: %w", inPath, err)
+	}
+	opt := simjoin.Options{Eps: eps, Metric: m, Algorithm: simjoin.Algorithm(algo)}
+	var ex simjoin.Explanation
+	if withPath != "" {
+		b, err := simjoin.Load(withPath)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", withPath, err)
+		}
+		ex, err = simjoin.ExplainJoin(a, b, opt)
+		if err != nil {
+			return err
+		}
+	} else {
+		ex, err = simjoin.Explain(a, opt)
+		if err != nil {
+			return err
+		}
+	}
+	source := "sample"
+	if ex.Plan.Sketched {
+		source = "sketch"
+	}
+	fmt.Fprintf(stdout, "eps=%g metric=%s requested=%s algorithm=%s estimated_pairs=%d selectivity=%g estimate_source=%s\n",
+		ex.Eps, ex.Metric, ex.Requested, ex.Algorithm, ex.Plan.EstimatedPairs, ex.Plan.Selectivity, source)
 	return nil
 }
 

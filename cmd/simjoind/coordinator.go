@@ -15,6 +15,7 @@ import (
 
 	"simjoin/internal/cluster"
 	"simjoin/internal/obsv"
+	"simjoin/internal/obsv/querylog"
 	"simjoin/internal/obsv/trace"
 )
 
@@ -30,6 +31,9 @@ type coordServer struct {
 	// one structured access-log line per request.
 	tracer *trace.Tracer
 	log    *slog.Logger
+	// qlog is the coordinator-side query journal behind GET
+	// /debug/queries; its records carry the fan-out width in Shards.
+	qlog *querylog.Log
 	// fanout observes the wall time of each scatter-gather operation
 	// across the fleet, labeled by operation.
 	fanout *obsv.HistogramVec
@@ -59,6 +63,7 @@ func newCoordServer(c *cluster.Coordinator) *coordServer {
 	m := newMetrics()
 	s := &coordServer{
 		c: c, m: m, maxBody: defaultMaxBodyBytes, tracer: trace.New(defaultTraceCapacity),
+		qlog:        querylog.New(0),
 		stopWatches: make(chan struct{}),
 		watches:     make(map[string]int),
 	}
@@ -109,6 +114,7 @@ func (s *coordServer) handler() http.Handler {
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /datasets", s.handleList)
 	handle("GET /datasets/{name}", s.handleGetDataset)
+	handle("GET /datasets/{name}/explain", s.handleExplain)
 	handle("PUT /datasets/{name}", s.handlePut)
 	handle("DELETE /datasets/{name}", s.handleDelete)
 	handle("POST /datasets/{name}/selfjoin", s.handleSelfJoin)
@@ -120,10 +126,28 @@ func (s *coordServer) handler() http.Handler {
 	mux.Handle("GET /metrics", s.m.promHandler())
 	mux.HandleFunc("GET /debug/vars", s.m.varsHandler)
 	mux.HandleFunc("GET /debug/traces", tracesHandler(s.tracer))
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleStitchedTrace)
+	mux.HandleFunc("GET /debug/queries", queriesHandler(s.qlog))
 	if s.debug {
 		mountPprof(mux)
 	}
 	return mux
+}
+
+// handleStitchedTrace serves the coordinator's GET /debug/traces/{id}:
+// the coordinator's own retained spans for the trace plus every
+// worker's, fetched live and stitched into one distributed span tree.
+// Like the other debug routes it is outside the instrument middleware,
+// so fetching a trace neither mints a new one nor minted attempt spans
+// on the worker RPCs.
+func (s *coordServer) handleStitchedTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st := s.c.FetchTrace(r.Context(), id, trace.Collect(s.tracer.Traces(), id))
+	if len(st.Spans) == 0 {
+		httpError(w, http.StatusNotFound, "no trace %q retained anywhere in the cluster", id)
+		return
+	}
+	writeJSON(w, st)
 }
 
 // unsupported answers 501 for worker endpoints the cluster layer does
@@ -165,6 +189,7 @@ func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":   status,
 		"datasets": len(s.c.List()),
 		"workers":  workers,
+		"build":    buildVersion,
 	})
 }
 
@@ -264,9 +289,19 @@ func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		Workers:   p.Workers,
 	}
 	est, over := s.admitSelfJoin(r, name, p)
+	rec := querylog.Record{
+		Kind: "selfjoin", Dataset: name,
+		Eps: p.Eps, Metric: p.Metric, Algorithm: p.Algorithm,
+		Stream: p.Stream, EstimatedPairs: -1, TraceID: traceIDOf(r),
+	}
+	if est != nil {
+		rec.EstimatedPairs = *est
+	}
+	recStart := time.Now()
 	if over {
 		if !p.Degrade {
 			rejectOverBudget(w, s.m, *est, s.maxPairs)
+			recordFailure(s.qlog, s.m, rec, recStart, querylog.OutcomeRejected, nil)
 			return
 		}
 		s.m.estimateDegraded.Inc()
@@ -275,9 +310,14 @@ func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		s.observeFanout("selfjoin", start)
 		if err != nil {
 			coordError(w, err)
+			recordFailure(s.qlog, s.m, rec, recStart, querylog.OutcomeError, err)
 			return
 		}
 		s.m.observeEstimateRatio(*est, res.Pairs)
+		rec.ActualPairs, rec.Shards = res.Pairs, res.Shards
+		rec.ElapsedNS = int64(time.Since(recStart))
+		rec.Outcome = querylog.OutcomeDegraded
+		recordQuery(s.qlog, s.m, rec)
 		writeJSON(w, coordJoinResponse{
 			Pairs:          [][2]int{},
 			Total:          res.Pairs,
@@ -291,7 +331,7 @@ func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if p.Stream {
-		s.streamSelfJoin(w, r, p, q)
+		s.streamSelfJoin(w, r, p, q, rec)
 		return
 	}
 	start := time.Now()
@@ -299,6 +339,7 @@ func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 	s.observeFanout("selfjoin", start)
 	if err != nil {
 		coordError(w, err)
+		recordFailure(s.qlog, s.m, rec, recStart, querylog.OutcomeError, err)
 		return
 	}
 	out := coordJoinResponse{
@@ -313,6 +354,10 @@ func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 	if est != nil {
 		s.m.observeEstimateRatio(*est, out.Total)
 	}
+	rec.ActualPairs, rec.Shards = out.Total, res.Shards
+	rec.ElapsedNS = int64(time.Since(recStart))
+	rec.Outcome = querylog.OutcomeOK
+	recordQuery(s.qlog, s.m, rec)
 	if p.MaxPairs > 0 && len(out.Pairs) > p.MaxPairs {
 		out.Pairs = out.Pairs[:p.MaxPairs]
 		out.Truncated = true
@@ -326,8 +371,11 @@ func (s *coordServer) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 // streamSelfJoin answers a distributed self-join as NDJSON: pairs flow
 // from the shards through the coordinator to the client as they arrive —
 // end to end, no full pair set is buffered anywhere. The closing summary
-// object carries the cluster degradation fields.
-func (s *coordServer) streamSelfJoin(w http.ResponseWriter, r *http.Request, p joinParams, q cluster.JoinQuery) {
+// object carries the cluster degradation fields (and estimated_pairs
+// when the query was priced). rec is the caller's pre-filled journal
+// record; the stream's outcome is journaled here where the totals are
+// known.
+func (s *coordServer) streamSelfJoin(w http.ResponseWriter, r *http.Request, p joinParams, q cluster.JoinQuery, rec querylog.Record) {
 	s.m.streamRequests.With("POST /datasets/{name}/selfjoin").Inc()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	bw := bufio.NewWriter(w)
@@ -352,8 +400,16 @@ func (s *coordServer) streamSelfJoin(w http.ResponseWriter, r *http.Request, p j
 		// SelfJoinEach fails before delivering any pair (validation, or
 		// every shard down), so a plain error answer is still possible.
 		coordError(w, err)
+		recordFailure(s.qlog, s.m, rec, start, querylog.OutcomeError, err)
 		return
 	}
+	if rec.EstimatedPairs >= 0 {
+		s.m.observeEstimateRatio(rec.EstimatedPairs, res.Pairs)
+	}
+	rec.ActualPairs, rec.Shards = res.Pairs, res.Shards
+	rec.ElapsedNS = int64(time.Since(start))
+	rec.Outcome = querylog.OutcomeOK
+	recordQuery(s.qlog, s.m, rec)
 	s.m.streamPairs.Add(sent)
 	summary := map[string]any{
 		"total":         res.Pairs,
@@ -362,6 +418,9 @@ func (s *coordServer) streamSelfJoin(w http.ResponseWriter, r *http.Request, p j
 		"shards":        res.Shards,
 		"partial":       res.Partial,
 		"failed_shards": res.Failed,
+	}
+	if rec.EstimatedPairs >= 0 {
+		summary["estimated_pairs"] = rec.EstimatedPairs
 	}
 	line, _ := json.Marshal(summary)
 	bw.Write(line)
@@ -375,7 +434,8 @@ func (s *coordServer) handleRange(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	defer s.observeFanout("range", time.Now())
+	start := time.Now()
+	defer s.observeFanout("range", start)
 	res, err := s.c.Range(r.Context(), r.PathValue("name"), q.Point, q.Radius, q.Metric)
 	if err != nil {
 		coordError(w, err)
@@ -385,6 +445,11 @@ func (s *coordServer) handleRange(w http.ResponseWriter, r *http.Request) {
 	if idx == nil {
 		idx = []int{}
 	}
+	recordQuery(s.qlog, s.m, querylog.Record{
+		Kind: "range", Dataset: r.PathValue("name"), Eps: q.Radius, Metric: q.Metric,
+		EstimatedPairs: -1, ActualPairs: int64(len(idx)), Shards: res.Shards,
+		ElapsedNS: int64(time.Since(start)), TraceID: traceIDOf(r), Outcome: querylog.OutcomeOK,
+	})
 	writeJSON(w, map[string]any{
 		"indexes":       idx,
 		"shards":        res.Shards,
@@ -399,7 +464,8 @@ func (s *coordServer) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
 		return
 	}
-	defer s.observeFanout("knn", time.Now())
+	start := time.Now()
+	defer s.observeFanout("knn", start)
 	res, err := s.c.KNN(r.Context(), r.PathValue("name"), q.Point, q.K, q.Metric)
 	if err != nil {
 		coordError(w, err)
@@ -409,6 +475,11 @@ func (s *coordServer) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if nbrs == nil {
 		nbrs = []cluster.Neighbor{}
 	}
+	recordQuery(s.qlog, s.m, querylog.Record{
+		Kind: "knn", Dataset: r.PathValue("name"), Metric: q.Metric,
+		EstimatedPairs: -1, ActualPairs: int64(len(nbrs)), Shards: res.Shards,
+		ElapsedNS: int64(time.Since(start)), TraceID: traceIDOf(r), Outcome: querylog.OutcomeOK,
+	})
 	writeJSON(w, map[string]any{
 		"neighbors":     nbrs,
 		"shards":        res.Shards,

@@ -12,6 +12,7 @@ import (
 
 	"simjoin/internal/cluster"
 	"simjoin/internal/live"
+	"simjoin/internal/obsv/querylog"
 	"simjoin/internal/vec"
 )
 
@@ -180,6 +181,19 @@ func (s *coordServer) handleWatch(w http.ResponseWriter, r *http.Request) {
 	s.m.streamRequests.With("POST /datasets/{name}/watch").Inc()
 	s.addWatch(name)
 	defer s.removeWatch(name)
+	// Journal the watch when the stream ends, with the delta volume it
+	// delivered over its whole lifetime.
+	watchStart := time.Now()
+	var delivered int64
+	defer func() {
+		recordQuery(s.qlog, s.m, querylog.Record{
+			Kind: "watch", Dataset: name, Eps: req.Eps,
+			Metric: metric.String(), Stream: true, Shards: len(sm.Shards),
+			EstimatedPairs: -1, ActualPairs: delivered,
+			ElapsedNS: int64(time.Since(watchStart)),
+			TraceID:   traceIDOf(r), Outcome: querylog.OutcomeOK,
+		})
+	}()
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	go func() {
@@ -211,6 +225,7 @@ func (s *coordServer) handleWatch(w http.ResponseWriter, r *http.Request) {
 		for _, p := range ev.Pairs {
 			fmt.Fprintf(bw, "[%d,%d]\n", p[0], p[1])
 		}
+		delivered += int64(len(ev.Pairs))
 		s.m.streamPairs.Add(int64(len(ev.Pairs)))
 		marker := map[string]any{
 			"event": "batch", "shard": ev.Shard, "seq": ev.Seq,

@@ -10,6 +10,7 @@ import (
 
 	"simjoin"
 	"simjoin/internal/live"
+	"simjoin/internal/obsv/querylog"
 	"simjoin/internal/vec"
 )
 
@@ -119,6 +120,20 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.live.Unsubscribe(sub.ID())
 
+	// Journal the watch when the stream ends: ActualPairs is the delta
+	// volume delivered over its whole lifetime, ElapsedNS that lifetime.
+	watchStart := time.Now()
+	var delivered int64
+	defer func() {
+		recordQuery(s.qlog, s.m, querylog.Record{
+			Kind: "watch", Dataset: name, Dataset2: req.Other,
+			Eps: req.Eps, Metric: metric.String(), Stream: true,
+			EstimatedPairs: -1, ActualPairs: delivered,
+			ElapsedNS: int64(time.Since(watchStart)),
+			TraceID:   traceIDOf(r), Outcome: querylog.OutcomeOK,
+		})
+	}()
+
 	s.m.streamRequests.With("POST /datasets/{name}/watch").Inc()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -153,6 +168,7 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			for _, p := range ev.Pairs {
 				fmt.Fprintf(bw, "[%d,%d]\n", p[0], p[1])
 			}
+			delivered += int64(len(ev.Pairs))
 			s.m.streamPairs.Add(int64(len(ev.Pairs)))
 			marker := map[string]any{
 				"event": "batch", "seq": ev.Seq, "added": ev.Added, "pairs": len(ev.Pairs),

@@ -17,8 +17,11 @@
 //	POST   /join                      {"a":"x","b":"y","eps":0.1}
 //	GET    /healthz                   liveness + dataset count
 //	GET    /metrics                   Prometheus text: per-route counters + latency histograms
+//	GET    /datasets/{name}/explain   ?eps=… EXPLAIN: resolved engine + size prediction, no execution
 //	GET    /debug/vars                per-route request/error counters (legacy JSON)
-//	GET    /debug/traces              recent request traces as span trees (JSON)
+//	GET    /debug/traces              recent request traces as span trees (?trace=<id>, ?limit=N)
+//	GET    /debug/traces/{id}         one trace's spans merged (coordinator: stitched across the fleet)
+//	GET    /debug/queries             per-query journal: estimate vs actual, timings, trace IDs
 //
 // -data <dir> makes the datasets durable: every PUT/append/DELETE tees
 // through a snapshot+WAL storage engine (internal/store, see
@@ -57,6 +60,7 @@ import (
 
 	"simjoin"
 	"simjoin/internal/cluster"
+	"simjoin/internal/obsv/trace"
 	"simjoin/internal/store"
 )
 
@@ -89,6 +93,7 @@ func run(argv []string) int {
 		maxBody      = fs.Int64("max-body-bytes", defaultMaxBodyBytes, "largest accepted request body in bytes")
 		maxPairs     = fs.Int64("max-pairs", 0, "admission budget: reject (429) or, on request, degrade join queries whose estimated result size exceeds this many pairs (0 = unlimited)")
 		sketchOn     = fs.Bool("sketch", true, "maintain a resident join-size sketch per dataset for O(1) estimates (worker mode)")
+		traceRing    = fs.Int("trace-ring", defaultTraceCapacity, "completed request traces retained for GET /debug/traces")
 		loads        loadFlags
 	)
 	fs.Var(&loads, "load", "preload a dataset: name=path (repeatable; worker mode only)")
@@ -97,6 +102,10 @@ func run(argv []string) int {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	if *maxBody < 1 {
 		logger.Error("-max-body-bytes must be positive", "value", *maxBody)
+		return 2
+	}
+	if *traceRing < 1 {
+		logger.Error("-trace-ring must be positive", "value", *traceRing)
 		return 2
 	}
 
@@ -124,6 +133,7 @@ func run(argv []string) int {
 		cs.log = logger
 		cs.maxBody = *maxBody
 		cs.maxPairs = *maxPairs
+		cs.tracer = trace.New(*traceRing)
 		h = cs.handler()
 		onStop = cs.shutdownWatches
 		logger.Info("simjoind coordinating", "workers", len(urls), "addr", *addr, "margin", *margin)
@@ -133,6 +143,7 @@ func run(argv []string) int {
 		srv.log = logger
 		srv.maxBody = *maxBody
 		srv.maxPairs = *maxPairs
+		srv.tracer = trace.New(*traceRing)
 		// Set before attachStore and -load run, so recovered and
 		// preloaded datasets get sketches (or not) like uploaded ones.
 		srv.sketch = *sketchOn

@@ -57,10 +57,21 @@ type metrics struct {
 	estimateRejected *obsv.Counter
 	estimateDegraded *obsv.Counter
 	estimateRatio    *obsv.Histogram
+
+	// Query-journal surface: every journaled query lands in the
+	// per-algorithm latency histogram, and the slow counter tallies the
+	// ones past the journal's slow threshold — the scrapeable shadow of
+	// GET /debug/queries.
+	querySlow    *obsv.Counter
+	queryLatency *obsv.HistogramVec
 }
 
 func newMetrics() *metrics {
 	reg := obsv.NewRegistry()
+	// Runtime health telemetry (goroutines, heap, GC pauses, scheduler
+	// latency) rides on every daemon registry; samples are taken at
+	// scrape time, so an idle daemon costs nothing.
+	obsv.NewRuntimeCollector().Register(reg, "simjoind")
 	return &metrics{
 		reg:            reg,
 		requests:       reg.NewCounterVec("simjoind_requests_total", "HTTP requests by route.", "route"),
@@ -87,6 +98,9 @@ func newMetrics() *metrics {
 		estimateRejected: reg.NewCounter("simjoin_estimate_rejected_total", "Join queries rejected (429) because the estimated result size exceeded the -max-pairs budget."),
 		estimateDegraded: reg.NewCounter("simjoin_estimate_degraded_total", "Over-budget join queries degraded to counting-only runs."),
 		estimateRatio:    reg.NewHistogram("simjoin_estimate_ratio", "Predicted over actual result size for completed joins that carried an estimate.", estimateRatioBuckets()),
+
+		querySlow:    reg.NewCounter("simjoin_query_slow_total", "Journaled queries that ran past the journal's slow threshold."),
+		queryLatency: reg.NewHistogramVec("simjoin_query_duration_seconds", "Journaled query latency by resolved algorithm.", "algorithm", obsv.LatencyBuckets()),
 	}
 }
 

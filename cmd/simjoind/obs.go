@@ -3,6 +3,8 @@ package main
 import (
 	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"time"
 
@@ -70,13 +72,35 @@ func instrument(m *metrics, tr *trace.Tracer, logger *slog.Logger, pattern strin
 
 // tracesHandler serves the tracer's retained traces as JSON, newest
 // first — the raw material for debugging one slow request after the
-// fact. The route is deliberately outside the metrics/trace middleware:
-// scraping traces must not mint traces.
+// fact. ?trace=<id> keeps only that trace's entries (a daemon can
+// retain several views of one distributed trace) and ?limit=N caps the
+// answer; the unfiltered shape stays a bare array for existing
+// scrapers. The route is deliberately outside the metrics/trace
+// middleware: scraping traces must not mint traces.
 func tracesHandler(tr *trace.Tracer) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		traces := tr.Traces()
 		for i, j := 0, len(traces)-1; i < j; i, j = i+1, j-1 {
 			traces[i], traces[j] = traces[j], traces[i]
+		}
+		if want := r.URL.Query().Get("trace"); want != "" {
+			kept := traces[:0]
+			for _, td := range traces {
+				if td.TraceID == want {
+					kept = append(kept, td)
+				}
+			}
+			traces = kept
+		}
+		if v := r.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				httpError(w, http.StatusBadRequest, "limit must be a non-negative integer, got %q", v)
+				return
+			}
+			if n < len(traces) {
+				traces = traces[:n]
+			}
 		}
 		if traces == nil {
 			traces = []trace.TraceData{}
@@ -84,3 +108,48 @@ func tracesHandler(tr *trace.Tracer) http.HandlerFunc {
 		writeJSON(w, traces)
 	}
 }
+
+// traceByIDHandler serves GET /debug/traces/{id}: every span the daemon
+// retains under one trace ID, merged across its retained trace views
+// into a single TraceData. On a worker this is the local half of
+// distributed stitching; the coordinator's variant fans out over the
+// fleet (see handleStitchedTrace).
+func traceByIDHandler(tr *trace.Tracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		spans := trace.Collect(tr.Traces(), id)
+		if len(spans) == 0 {
+			httpError(w, http.StatusNotFound, "no trace %q retained", id)
+			return
+		}
+		writeJSON(w, trace.Stitch(id, spans))
+	}
+}
+
+// buildVersion is the binary's identity block for /healthz, computed
+// once: module version, VCS commit and dirty flag from the embedded
+// build info, plus the Go toolchain — enough for a scrape or an
+// incident report to say exactly which binary was serving.
+var buildVersion = func() map[string]any {
+	out := map[string]any{"go": runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if v := bi.Main.Version; v != "" {
+		out["version"] = v
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out["commit"] = s.Value
+		case "vcs.time":
+			out["commit_time"] = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				out["dirty"] = true
+			}
+		}
+	}
+	return out
+}()

@@ -1,0 +1,440 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"simjoin/internal/cluster"
+	"simjoin/internal/obsv/querylog"
+	"simjoin/internal/obsv/trace"
+	"simjoin/internal/rclient"
+)
+
+// queriesPage is the GET /debug/queries response shape.
+type queriesPage struct {
+	Total   int64             `json:"total"`
+	Slow    int64             `json:"slow"`
+	Queries []querylog.Record `json:"queries"`
+}
+
+// getQueries fetches a daemon's query journal, with optional filters
+// ("?slow=1", "?dataset=a&limit=2", …).
+func getQueries(t *testing.T, base, filters string) queriesPage {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/queries" + filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/queries%s: %d", filters, resp.StatusCode)
+	}
+	var out queriesPage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// getBody fetches a URL and returns its body as a string, failing the
+// test on a non-2xx status.
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, sb.String())
+	}
+	return sb.String()
+}
+
+func TestWorkerQueryJournal(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}, {0.05, 0}, {0.9, 0.9}})
+	putPoints(t, ts.URL, "b", [][]float64{{1, 1}, {2, 2}})
+
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/datasets/a/selfjoin", map[string]any{"eps": 0.1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("selfjoin: %d %v", resp.StatusCode, body)
+	}
+	resp, _ = doJSON(t, http.MethodPost, ts.URL+"/datasets/b/knn", map[string]any{"point": []float64{0, 0}, "k": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("knn: %d", resp.StatusCode)
+	}
+
+	page := getQueries(t, ts.URL, "")
+	if page.Total != 2 {
+		t.Fatalf("journal total = %d, want 2", page.Total)
+	}
+	// Newest first: the KNN query leads.
+	if page.Queries[0].Kind != "knn" || page.Queries[1].Kind != "selfjoin" {
+		t.Fatalf("journal order = %q, %q; want knn, selfjoin", page.Queries[0].Kind, page.Queries[1].Kind)
+	}
+	sj := page.Queries[1]
+	if sj.Dataset != "a" || sj.Outcome != querylog.OutcomeOK {
+		t.Fatalf("selfjoin record = %+v", sj)
+	}
+	if sj.ActualPairs != 1 {
+		t.Errorf("selfjoin actual_pairs = %d, want 1", sj.ActualPairs)
+	}
+	if sj.EstimatedPairs < 0 {
+		t.Errorf("selfjoin record missing estimate (sketches are on): %+v", sj)
+	}
+	if sj.Algorithm == "" || sj.TraceID == "" || sj.ElapsedNS <= 0 {
+		t.Errorf("selfjoin record missing algorithm/trace/elapsed: %+v", sj)
+	}
+	// The record's trace ID resolves in the trace ring.
+	found := false
+	for _, td := range getTraces(t, ts.URL) {
+		if td.TraceID == sj.TraceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("journal trace_id %s not in /debug/traces", sj.TraceID)
+	}
+
+	// Filters: by dataset, and by slow (nothing here runs 250ms).
+	if got := getQueries(t, ts.URL, "?dataset=a"); len(got.Queries) != 1 || got.Queries[0].Kind != "selfjoin" {
+		t.Errorf("?dataset=a returned %+v", got.Queries)
+	}
+	if got := getQueries(t, ts.URL, "?slow=1"); len(got.Queries) != 0 {
+		t.Errorf("?slow=1 returned %+v", got.Queries)
+	}
+	if got := getQueries(t, ts.URL, "?limit=1"); len(got.Queries) != 1 {
+		t.Errorf("?limit=1 returned %d records", len(got.Queries))
+	}
+
+	// The scrapeable shadow: the per-algorithm latency histogram saw the
+	// join, the slow counter stayed at zero.
+	scrape := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(scrape, `simjoin_query_duration_seconds_count{algorithm="`) {
+		t.Error("scrape missing simjoin_query_duration_seconds series")
+	}
+	if !strings.Contains(scrape, "simjoin_query_slow_total 0") {
+		t.Error("scrape missing simjoin_query_slow_total 0")
+	}
+}
+
+func TestWorkerJournalRecordsRejection(t *testing.T) {
+	srv := newServer()
+	srv.maxPairs = 1
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	putPoints(t, ts.URL, "a", clusterPoints(200, 2, 3))
+
+	resp, _ := doJSON(t, http.MethodPost, ts.URL+"/datasets/a/selfjoin", map[string]any{"eps": 0.5})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	page := getQueries(t, ts.URL, "")
+	if len(page.Queries) != 1 || page.Queries[0].Outcome != querylog.OutcomeRejected {
+		t.Fatalf("journal after rejection = %+v", page.Queries)
+	}
+	if page.Queries[0].EstimatedPairs <= 1 {
+		t.Errorf("rejected record estimate = %d, want > budget", page.Queries[0].EstimatedPairs)
+	}
+}
+
+func TestWorkerExplainEndpoint(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", clusterPoints(100, 2, 5))
+
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/datasets/a/explain?eps=0.2&algorithm=auto", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: %d %v", resp.StatusCode, body)
+	}
+	if body["dataset"] != "a" || body["metric"] != "L2" {
+		t.Errorf("explain body = %v", body)
+	}
+	algo, _ := body["algorithm"].(string)
+	if algo == "" || algo == "auto" {
+		t.Errorf("explain left algorithm unresolved: %v", body)
+	}
+	plan, ok := body["plan"].(map[string]any)
+	if !ok {
+		t.Fatalf("explain missing plan: %v", body)
+	}
+	if est, _ := plan["estimated_pairs"].(float64); est < 0 {
+		t.Errorf("explain plan unpriced: %v", plan)
+	}
+	if sk, _ := plan["sketched"].(bool); !sk {
+		t.Errorf("sketched dataset explained without sketch: %v", plan)
+	}
+
+	// Validation: missing eps and bad algorithm are 400s, missing dataset 404.
+	if resp, _ := doJSON(t, http.MethodGet, ts.URL+"/datasets/a/explain", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("explain without eps: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, http.MethodGet, ts.URL+"/datasets/a/explain?eps=0.2&algorithm=bogus", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("explain with bogus algorithm: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := doJSON(t, http.MethodGet, ts.URL+"/datasets/zzz/explain?eps=0.2", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("explain on missing dataset: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthzCarriesBuildInfo(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	build, ok := body["build"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz missing build block: %v", body)
+	}
+	if gv, _ := build["go"].(string); !strings.HasPrefix(gv, "go") {
+		t.Errorf("build.go = %q, want a Go version", gv)
+	}
+}
+
+func TestTracesFilters(t *testing.T) {
+	ts, done := newTestServer(t)
+	defer done()
+	putPoints(t, ts.URL, "a", [][]float64{{0, 0}, {1, 1}})
+	for i := 0; i < 3; i++ {
+		doJSON(t, http.MethodGet, ts.URL+"/datasets", nil)
+	}
+
+	all := getTraces(t, ts.URL)
+	if len(all) < 3 {
+		t.Fatalf("retained %d traces, want >= 3", len(all))
+	}
+	// ?limit caps the newest-first answer.
+	resp, err := http.Get(ts.URL + "/debug/traces?limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var limited []trace.TraceData
+	json.NewDecoder(resp.Body).Decode(&limited)
+	resp.Body.Close()
+	if len(limited) != 2 || limited[0].TraceID != all[0].TraceID {
+		t.Fatalf("?limit=2 returned %d traces (first %s, want %s)", len(limited), limited[0].TraceID, all[0].TraceID)
+	}
+	// ?trace filters to one ID.
+	want := all[1].TraceID
+	resp, err = http.Get(ts.URL + "/debug/traces?trace=" + want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filtered []trace.TraceData
+	json.NewDecoder(resp.Body).Decode(&filtered)
+	resp.Body.Close()
+	if len(filtered) == 0 {
+		t.Fatalf("?trace=%s returned nothing", want)
+	}
+	for _, td := range filtered {
+		if td.TraceID != want {
+			t.Fatalf("?trace=%s returned trace %s", want, td.TraceID)
+		}
+	}
+	// /debug/traces/{id} merges the ID's spans into one TraceData.
+	resp, err = http.Get(ts.URL + "/debug/traces/" + want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged trace.TraceData
+	json.NewDecoder(resp.Body).Decode(&merged)
+	resp.Body.Close()
+	if merged.TraceID != want || len(merged.Spans) == 0 {
+		t.Fatalf("/debug/traces/%s = %+v", want, merged)
+	}
+	// Unknown ID is a 404; bad limit a 400.
+	if resp, _ := http.Get(ts.URL + "/debug/traces/deadbeef"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace id: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := http.Get(ts.URL + "/debug/traces?limit=x"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestTraceRingFlagRejectsNonPositive(t *testing.T) {
+	if got := run([]string{"-trace-ring", "0", "-addr", "127.0.0.1:0"}); got != 2 {
+		t.Fatalf("run(-trace-ring 0) = %d, want 2", got)
+	}
+	if got := run([]string{"-trace-ring", "-5", "-addr", "127.0.0.1:0"}); got != 2 {
+		t.Fatalf("run(-trace-ring -5) = %d, want 2", got)
+	}
+}
+
+// runtimeSeries are the health-telemetry series every daemon registry
+// must expose.
+var runtimeSeries = []string{
+	"simjoind_go_goroutines ",
+	"simjoind_go_heap_bytes ",
+	"simjoind_go_gc_pause_seconds_bucket",
+	"simjoind_go_sched_latency_seconds_bucket",
+	"simjoind_go_goroutine_growth ",
+}
+
+// TestClusterObservabilityE2E is the acceptance test: one distributed
+// self-join over a real 3-worker cluster must leave (a) one stitched
+// trace on the coordinator containing spans from the coordinator and
+// all three workers, (b) journal records on both tiers sharing that
+// trace ID with consistent estimate and actual counts, and (c) runtime
+// health series on every /metrics.
+func TestClusterObservabilityE2E(t *testing.T) {
+	const n = 3
+	urls := make([]string, n)
+	workers := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		workers[i] = httptest.NewServer(newServer().handler())
+		urls[i] = workers[i].URL
+		t.Cleanup(workers[i].Close)
+	}
+	rc := &rclient.Client{
+		MaxRetries:     2,
+		BaseDelay:      2 * time.Millisecond,
+		MaxDelay:       10 * time.Millisecond,
+		AttemptTimeout: 10 * time.Second,
+		RetryPOST:      true,
+	}
+	cs := newCoordServer(cluster.New(urls, 0.3, rc))
+	// A (generous) budget makes the coordinator price the query, so its
+	// journal record carries an estimate.
+	cs.maxPairs = 1 << 40
+	coord := httptest.NewServer(cs.handler())
+	t.Cleanup(coord.Close)
+
+	putPoints(t, coord.URL, "pts", clusterPoints(120, 2, 11))
+	resp, body := doJSON(t, http.MethodPost, coord.URL+"/datasets/pts/selfjoin", map[string]any{"eps": 0.1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("selfjoin: %d %v", resp.StatusCode, body)
+	}
+	total := int64(body["total"].(float64))
+	estResp, ok := body["estimated_pairs"].(float64)
+	if !ok {
+		t.Fatalf("response carries no estimated_pairs: %v", body)
+	}
+
+	// (b) coordinator journal: the selfjoin record matches the response
+	// and names a trace.
+	var coordRec querylog.Record
+	for _, q := range getQueries(t, coord.URL, "").Queries {
+		if q.Kind == "selfjoin" {
+			coordRec = q
+			break
+		}
+	}
+	if coordRec.Kind != "selfjoin" {
+		t.Fatal("coordinator journal has no selfjoin record")
+	}
+	if coordRec.ActualPairs != total || coordRec.EstimatedPairs != int64(estResp) {
+		t.Fatalf("coordinator record (est %d, actual %d) != response (est %d, actual %d)",
+			coordRec.EstimatedPairs, coordRec.ActualPairs, int64(estResp), total)
+	}
+	if coordRec.Shards != n {
+		t.Errorf("coordinator record shards = %d, want %d", coordRec.Shards, n)
+	}
+	if coordRec.TraceID == "" {
+		t.Fatal("coordinator record has no trace ID")
+	}
+
+	// Worker journals: each shard served the scattered selfjoin under the
+	// SAME trace ID, estimate and actuals filled.
+	for i, w := range workers {
+		var wrec querylog.Record
+		for _, q := range getQueries(t, w.URL, "").Queries {
+			if q.Kind == "selfjoin" && q.TraceID == coordRec.TraceID {
+				wrec = q
+				break
+			}
+		}
+		if wrec.Kind == "" {
+			t.Fatalf("worker %d journal has no selfjoin record for trace %s", i, coordRec.TraceID)
+		}
+		if wrec.EstimatedPairs < 0 {
+			t.Errorf("worker %d record carries no estimate: %+v", i, wrec)
+		}
+		if wrec.Outcome != querylog.OutcomeOK || wrec.Algorithm == "" {
+			t.Errorf("worker %d record = %+v", i, wrec)
+		}
+	}
+
+	// (a) the coordinator stitches one distributed tree for that ID.
+	var st struct {
+		trace.TraceData
+		Sources []cluster.WorkerTrace `json:"sources"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, coord.URL+"/debug/traces/"+coordRec.TraceID)), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != coordRec.TraceID {
+		t.Fatalf("stitched trace ID %s, want %s", st.TraceID, coordRec.TraceID)
+	}
+	if len(st.Sources) != n {
+		t.Fatalf("stitched trace has %d sources, want %d", len(st.Sources), n)
+	}
+	for _, src := range st.Sources {
+		if src.Err != "" {
+			t.Errorf("source %s failed: %s", src.URL, src.Err)
+		}
+	}
+	root, ok := st.Root()
+	if !ok || root.Name != "POST /datasets/{name}/selfjoin" {
+		t.Fatalf("stitched root = %+v", root)
+	}
+	// Every span is reachable from the root: one tree, not a forest.
+	local := map[string]string{}
+	for _, sp := range st.Spans {
+		local[sp.SpanID] = sp.ParentID
+	}
+	reach := func(id string) bool {
+		for hops := 0; hops < len(st.Spans)+1; hops++ {
+			if id == root.SpanID {
+				return true
+			}
+			next, ok := local[id]
+			if !ok {
+				return false
+			}
+			id = next
+		}
+		return false
+	}
+	workerServerSpans := 0
+	for _, sp := range st.Spans {
+		if sp.TraceID != st.TraceID {
+			t.Fatalf("span %s belongs to trace %s", sp.SpanID, sp.TraceID)
+		}
+		if !reach(sp.SpanID) {
+			t.Errorf("span %s (%s) not reachable from the root", sp.SpanID, sp.Name)
+		}
+		if sp.Name == "POST /datasets/{name}/selfjoin" && sp.SpanID != root.SpanID {
+			workerServerSpans++
+		}
+	}
+	if workerServerSpans != n {
+		t.Fatalf("stitched tree has %d worker server spans, want %d:\n%+v", workerServerSpans, n, st.Spans)
+	}
+
+	// (c) runtime health series on both tiers.
+	for _, base := range append([]string{coord.URL}, urls...) {
+		scrape := getBody(t, base+"/metrics")
+		for _, series := range runtimeSeries {
+			if !strings.Contains(scrape, series) {
+				t.Errorf("%s/metrics missing %s", base, series)
+			}
+		}
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"simjoin"
 	"simjoin/internal/live"
+	"simjoin/internal/obsv/querylog"
 	"simjoin/internal/obsv/trace"
 	"simjoin/internal/store"
 )
@@ -41,6 +43,10 @@ type server struct {
 	// log, when non-nil, gets one structured access-log line per request.
 	tracer *trace.Tracer
 	log    *slog.Logger
+	// qlog is the per-query journal behind GET /debug/queries: every
+	// join/KNN/range/watch query served, with its estimate, actuals and
+	// trace ID.
+	qlog *querylog.Log
 	// live is the continuous-query engine: incremental per-dataset
 	// indexes plus the standing-query subscriptions watch streams serve.
 	live *live.Engine
@@ -161,6 +167,7 @@ func newServer() *server {
 		m:       newMetrics(),
 		maxBody: defaultMaxBodyBytes,
 		tracer:  trace.New(defaultTraceCapacity),
+		qlog:    querylog.New(0),
 		sketch:  true,
 	}
 	s.live = live.New(liveHooks(s.m))
@@ -181,6 +188,7 @@ func (s *server) handler() http.Handler {
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /datasets", s.handleList)
 	handle("GET /datasets/{name}", s.handleGetDataset)
+	handle("GET /datasets/{name}/explain", s.handleExplain)
 	handle("PUT /datasets/{name}", s.handlePut)
 	handle("DELETE /datasets/{name}", s.handleDelete)
 	handle("POST /datasets/{name}/points", s.handleAppend)
@@ -192,6 +200,8 @@ func (s *server) handler() http.Handler {
 	mux.Handle("GET /metrics", s.m.promHandler())
 	mux.HandleFunc("GET /debug/vars", s.m.varsHandler)
 	mux.HandleFunc("GET /debug/traces", tracesHandler(s.tracer))
+	mux.HandleFunc("GET /debug/traces/{id}", traceByIDHandler(s.tracer))
+	mux.HandleFunc("GET /debug/queries", queriesHandler(s.qlog))
 	if s.debug {
 		mountPprof(mux)
 	}
@@ -202,7 +212,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.sets)
 	s.mu.RUnlock()
-	out := map[string]any{"status": "ok", "datasets": n}
+	out := map[string]any{"status": "ok", "datasets": n, "build": buildVersion}
 	if s.st != nil {
 		out["persistence"] = map[string]any{
 			"enabled":            true,
@@ -478,10 +488,12 @@ const streamFlushEvery = 1024
 // the moment the join finds it, closed by a summary object — so neither
 // the server nor the client ever holds the full pair set. The route's
 // stream counters are charged here, where the pair volume is visible.
-// each runs the streaming join with the provided emit callback; its only
-// possible errors are validation errors raised before the first pair, so
-// they can still be answered with a plain HTTP error.
-func streamPairs(w http.ResponseWriter, m *metrics, route string, maxPairs int, each func(emit func(i, j int)) (simjoin.Stats, error)) {
+// est, when >= 0, is the pre-run prediction and is echoed in the summary
+// as estimated_pairs next to the actual total. each runs the streaming
+// join with the provided emit callback; its only possible errors are
+// validation errors raised before the first pair, so they can still be
+// answered with a plain HTTP error.
+func streamPairs(w http.ResponseWriter, m *metrics, route string, maxPairs int, est int64, each func(emit func(i, j int)) (simjoin.Stats, error)) {
 	m.streamRequests.With(route).Inc()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	bw := bufio.NewWriter(w)
@@ -510,6 +522,9 @@ func streamPairs(w http.ResponseWriter, m *metrics, route string, maxPairs int, 
 		"total":      st.Results,
 		"truncated":  maxPairs > 0 && st.Results > int64(maxPairs),
 		"elapsed_ms": float64(st.Elapsed.Microseconds()) / 1000,
+	}
+	if est >= 0 {
+		summary["estimated_pairs"] = est
 	}
 	line, _ := json.Marshal(summary)
 	bw.Write(line)
@@ -601,9 +616,18 @@ func (s *server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 	if s.shouldPrice(opt.Eps, ds) {
 		adm = s.price(simjoin.PlanSelfJoin(ds, opt.Metric, opt.Eps))
 	}
+	rec := querylog.Record{
+		Kind: "selfjoin", Dataset: r.PathValue("name"),
+		Eps: p.Eps, Metric: opt.Metric.String(), Algorithm: p.Algorithm,
+		Stream: p.Stream, EstimatedPairs: adm.est, TraceID: traceIDOf(r),
+	}
+	start := time.Now()
+	var js simjoin.JoinStats
+	opt.Stats = &js
 	if adm.over {
 		if !p.Degrade {
 			rejectOverBudget(w, s.m, adm.est, s.maxPairs)
+			recordFailure(s.qlog, s.m, rec, start, querylog.OutcomeRejected, nil)
 			return
 		}
 		s.m.estimateDegraded.Inc()
@@ -612,28 +636,41 @@ func (s *server) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
 		res, err := simjoin.SelfJoin(ds, opt)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
+			recordFailure(s.qlog, s.m, rec, start, querylog.OutcomeError, err)
 			return
 		}
 		s.m.observeEstimateRatio(adm.est, res.Stats.Results)
+		fillFromRun(&rec, js, res.Stats.Results)
+		rec.Outcome = querylog.OutcomeDegraded
+		recordQuery(s.qlog, s.m, rec)
 		writeJSON(w, degradedResponse(res.Stats.Results, float64(res.Stats.Elapsed.Microseconds())/1000, adm.est))
 		return
 	}
 	if p.Stream {
-		streamPairs(w, s.m, "POST /datasets/{name}/selfjoin", p.MaxPairs, func(emit func(i, j int)) (simjoin.Stats, error) {
+		streamPairs(w, s.m, "POST /datasets/{name}/selfjoin", p.MaxPairs, adm.est, func(emit func(i, j int)) (simjoin.Stats, error) {
 			st, err := simjoin.SelfJoinEach(ds, opt, emit)
-			if err == nil {
-				s.m.observeEstimateRatio(adm.est, st.Results)
+			if err != nil {
+				recordFailure(s.qlog, s.m, rec, start, querylog.OutcomeError, err)
+				return st, err
 			}
-			return st, err
+			s.m.observeEstimateRatio(adm.est, st.Results)
+			fillFromRun(&rec, js, st.Results)
+			rec.Outcome = querylog.OutcomeOK
+			recordQuery(s.qlog, s.m, rec)
+			return st, nil
 		})
 		return
 	}
 	res, err := simjoin.SelfJoin(ds, opt)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		recordFailure(s.qlog, s.m, rec, start, querylog.OutcomeError, err)
 		return
 	}
 	s.m.observeEstimateRatio(adm.est, res.Stats.Results)
+	fillFromRun(&rec, js, res.Stats.Results)
+	rec.Outcome = querylog.OutcomeOK
+	recordQuery(s.qlog, s.m, rec)
 	out := toJoinResponse(res, p.MaxPairs)
 	if adm.est >= 0 {
 		out.EstimatedPairs = &adm.est
@@ -679,9 +716,18 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if s.shouldPrice(opt.Eps, da, db) {
 		adm = s.price(simjoin.PlanJoin(da, db, opt.Metric, opt.Eps))
 	}
+	rec := querylog.Record{
+		Kind: "join", Dataset: req.A, Dataset2: req.B,
+		Eps: req.Eps, Metric: opt.Metric.String(), Algorithm: req.Algorithm,
+		Stream: req.Stream, EstimatedPairs: adm.est, TraceID: traceIDOf(r),
+	}
+	start := time.Now()
+	var js simjoin.JoinStats
+	opt.Stats = &js
 	if adm.over {
 		if !req.Degrade {
 			rejectOverBudget(w, s.m, adm.est, s.maxPairs)
+			recordFailure(s.qlog, s.m, rec, start, querylog.OutcomeRejected, nil)
 			return
 		}
 		s.m.estimateDegraded.Inc()
@@ -690,28 +736,41 @@ func (s *server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		res, err := simjoin.Join(da, db, opt)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
+			recordFailure(s.qlog, s.m, rec, start, querylog.OutcomeError, err)
 			return
 		}
 		s.m.observeEstimateRatio(adm.est, res.Stats.Results)
+		fillFromRun(&rec, js, res.Stats.Results)
+		rec.Outcome = querylog.OutcomeDegraded
+		recordQuery(s.qlog, s.m, rec)
 		writeJSON(w, degradedResponse(res.Stats.Results, float64(res.Stats.Elapsed.Microseconds())/1000, adm.est))
 		return
 	}
 	if req.Stream {
-		streamPairs(w, s.m, "POST /join", req.MaxPairs, func(emit func(i, j int)) (simjoin.Stats, error) {
+		streamPairs(w, s.m, "POST /join", req.MaxPairs, adm.est, func(emit func(i, j int)) (simjoin.Stats, error) {
 			st, err := simjoin.JoinEach(da, db, opt, emit)
-			if err == nil {
-				s.m.observeEstimateRatio(adm.est, st.Results)
+			if err != nil {
+				recordFailure(s.qlog, s.m, rec, start, querylog.OutcomeError, err)
+				return st, err
 			}
-			return st, err
+			s.m.observeEstimateRatio(adm.est, st.Results)
+			fillFromRun(&rec, js, st.Results)
+			rec.Outcome = querylog.OutcomeOK
+			recordQuery(s.qlog, s.m, rec)
+			return st, nil
 		})
 		return
 	}
 	res, err := simjoin.Join(da, db, opt)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		recordFailure(s.qlog, s.m, rec, start, querylog.OutcomeError, err)
 		return
 	}
 	s.m.observeEstimateRatio(adm.est, res.Stats.Results)
+	fillFromRun(&rec, js, res.Stats.Results)
+	rec.Outcome = querylog.OutcomeOK
+	recordQuery(s.qlog, s.m, rec)
 	out := toJoinResponse(res, req.MaxPairs)
 	if adm.est >= 0 {
 		out.EstimatedPairs = &adm.est
@@ -759,10 +818,16 @@ func (s *server) handleRange(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "radius must be positive")
 		return
 	}
+	start := time.Now()
 	idx := e.index().Range(q.Point, m, q.Radius)
 	if idx == nil {
 		idx = []int{}
 	}
+	recordQuery(s.qlog, s.m, querylog.Record{
+		Kind: "range", Dataset: r.PathValue("name"), Eps: q.Radius, Metric: m.String(),
+		EstimatedPairs: -1, ActualPairs: int64(len(idx)),
+		ElapsedNS: int64(time.Since(start)), TraceID: traceIDOf(r), Outcome: querylog.OutcomeOK,
+	})
 	writeJSON(w, map[string]any{"indexes": idx})
 }
 
@@ -790,7 +855,13 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be ≥ 1")
 		return
 	}
+	start := time.Now()
 	nbrs := e.index().KNN(q.Point, q.K, m)
+	recordQuery(s.qlog, s.m, querylog.Record{
+		Kind: "knn", Dataset: r.PathValue("name"), Metric: m.String(),
+		EstimatedPairs: -1, ActualPairs: int64(len(nbrs)),
+		ElapsedNS: int64(time.Since(start)), TraceID: traceIDOf(r), Outcome: querylog.OutcomeOK,
+	})
 	type nb struct {
 		Index int     `json:"index"`
 		Dist  float64 `json:"dist"`

@@ -20,7 +20,10 @@ type ShardEstimate struct {
 	Pairs       int64   `json:"pairs"`
 	Selectivity float64 `json:"selectivity"`
 	Sketched    bool    `json:"sketched"`
-	Err         string  `json:"error,omitempty"`
+	// Algorithm is what the shard's planner would run locally for this
+	// workload — the per-shard half of a distributed EXPLAIN.
+	Algorithm string `json:"algorithm,omitempty"`
+	Err       string `json:"error,omitempty"`
 }
 
 // EstimateResult is a merged distributed join-size estimate.
@@ -55,6 +58,7 @@ func (c *Coordinator) EstimateSelfJoin(ctx context.Context, name string, eps flo
 				Pairs       int64   `json:"pairs"`
 				Selectivity float64 `json:"selectivity"`
 				Sketched    bool    `json:"sketched"`
+				Algorithm   string  `json:"algorithm"`
 			} `json:"estimate"`
 		}
 		u := c.datasetURL(sm, s, name) + "?eps=" + strconv.FormatFloat(eps, 'g', -1, 64)
@@ -77,6 +81,7 @@ func (c *Coordinator) EstimateSelfJoin(ctx context.Context, name string, eps flo
 					Pairs:       resp.Estimate.Pairs,
 					Selectivity: resp.Estimate.Selectivity,
 					Sketched:    resp.Estimate.Sketched,
+					Algorithm:   resp.Estimate.Algorithm,
 				}
 				return nil
 			}

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+
+	"simjoin/internal/obsv/trace"
+)
+
+// WorkerTrace is one worker's contribution to a stitched trace: the
+// spans it retained for the trace ID, or the error that kept it from
+// answering. A worker that answered but retained nothing returns OK
+// with no spans — its ring may simply have evicted the trace.
+type WorkerTrace struct {
+	URL   string           `json:"url"`
+	Spans []trace.SpanData `json:"-"`
+	Err   string           `json:"error,omitempty"`
+}
+
+// StitchedTrace is a distributed trace assembled from the coordinator's
+// own spans plus every worker's spans for the same trace ID: one span
+// tree (parented across processes by traceparent propagation) and a
+// per-source account of where the spans came from.
+type StitchedTrace struct {
+	trace.TraceData
+	// Sources reports each queried worker in worker order, including
+	// the ones that failed or had nothing.
+	Sources []WorkerTrace `json:"sources"`
+}
+
+// FetchTrace polls every worker's GET /debug/traces?trace=<id>
+// concurrently and stitches the answers together with the
+// coordinator-local spans (the coordinator's own retained view of the
+// trace, passed in by the caller). Workers that fail or no longer
+// retain the trace contribute nothing but are reported in Sources, so a
+// partially-evicted trace still renders as much tree as survives.
+func (c *Coordinator) FetchTrace(ctx context.Context, traceID string, local []trace.SpanData) *StitchedTrace {
+	sources := make([]WorkerTrace, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w string) {
+			defer wg.Done()
+			sources[i] = WorkerTrace{URL: w}
+			resp, err := c.rc.Get(ctx, w+"/debug/traces?trace="+traceID)
+			if err != nil {
+				sources[i].Err = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			var out []trace.TraceData
+			if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&out); err != nil {
+				sources[i].Err = err.Error()
+				return
+			}
+			sources[i].Spans = trace.Collect(out, traceID)
+		}(i, w)
+	}
+	wg.Wait()
+	sets := make([][]trace.SpanData, 0, len(sources)+1)
+	sets = append(sets, local)
+	for _, s := range sources {
+		sets = append(sets, s.Spans)
+	}
+	return &StitchedTrace{
+		TraceData: trace.Stitch(traceID, sets...),
+		Sources:   sources,
+	}
+}

@@ -339,6 +339,49 @@ func (r *Registry) NewCounterFunc(name, help string, fn func() int64) {
 	r.add(&counterFunc{name: name, help: help, fn: fn})
 }
 
+// HistogramSample is one scrape's worth of histogram state for
+// NewHistogramFunc: ascending upper bounds plus per-bucket counts, with
+// Counts one longer than Bounds (the last entry is the +Inf overflow
+// bucket) and Sum the (possibly approximated) sum of observations.
+type HistogramSample struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+}
+
+// histogramFunc samples a full histogram from a callback at scrape
+// time, for distributions whose source of truth lives elsewhere (e.g.
+// runtime/metrics pause histograms).
+type histogramFunc struct {
+	name, help string
+	fn         func() HistogramSample
+}
+
+func (h *histogramFunc) render(w io.Writer) {
+	header(w, h.name, h.help, "histogram")
+	s := h.fn()
+	var cum uint64
+	for i, b := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.name, formatFloat(b), cum)
+	}
+	if len(s.Counts) > len(s.Bounds) {
+		cum += s.Counts[len(s.Bounds)]
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
+}
+
+// NewHistogramFunc registers a histogram whose buckets are read from fn
+// at scrape time. fn must return cumulative-consistent (monotone over
+// time) per-bucket counts.
+func (r *Registry) NewHistogramFunc(name, help string, fn func() HistogramSample) {
+	r.add(&histogramFunc{name: name, help: help, fn: fn})
+}
+
 // gaugeVecFunc samples a label → value callback at scrape time.
 type gaugeVecFunc struct {
 	name, help, label string

@@ -1,0 +1,182 @@
+package obsv
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+)
+
+// RuntimeCollector samples Go runtime health — heap footprint, GC pause
+// and scheduler latency distributions, goroutine count — through the
+// runtime/metrics interface, at scrape time only: an idle daemon pays
+// nothing, and a scrape pays one metrics.Read plus a fixed re-bucketing
+// pass. A goroutine-growth watchdog gauge tracks the current goroutine
+// count against the low-water mark observed since the collector was
+// registered, so a leak shows up as a steadily rising ratio even when
+// the absolute count looks plausible.
+type RuntimeCollector struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	// low is the smallest goroutine count any scrape has observed
+	// (0 = no scrape yet); the watchdog reports current/low.
+	low int64
+}
+
+// Runtime metric names, in samples order. The pause series prefers the
+// modern /sched/pauses name and falls back to the deprecated /gc/pauses
+// if the runtime lacks it, so the collector works across toolchains.
+const (
+	rmGoroutines  = "/sched/goroutines:goroutines"
+	rmHeapBytes   = "/memory/classes/heap/objects:bytes"
+	rmGCPauses    = "/sched/pauses/total/gc:seconds"
+	rmGCPausesOld = "/gc/pauses:seconds"
+	rmSchedLat    = "/sched/latencies:seconds"
+	rmGCCycles    = "/gc/cycles/total:gc-cycles"
+)
+
+// NewRuntimeCollector returns an unregistered collector.
+func NewRuntimeCollector() *RuntimeCollector {
+	pauses := rmGCPauses
+	if !metricSupported(pauses) {
+		pauses = rmGCPausesOld
+	}
+	c := &RuntimeCollector{samples: []metrics.Sample{
+		{Name: rmGoroutines},
+		{Name: rmHeapBytes},
+		{Name: pauses},
+		{Name: rmSchedLat},
+		{Name: rmGCCycles},
+	}}
+	return c
+}
+
+// metricSupported reports whether the running toolchain publishes name.
+func metricSupported(name string) bool {
+	s := []metrics.Sample{{Name: name}}
+	metrics.Read(s)
+	return s[0].Value.Kind() != metrics.KindBad
+}
+
+// read refreshes the sample set and returns it; callers use it under
+// the collector's lock via with.
+func (c *RuntimeCollector) with(fn func(s []metrics.Sample)) {
+	c.mu.Lock()
+	metrics.Read(c.samples)
+	fn(c.samples)
+	c.mu.Unlock()
+}
+
+// microBuckets is the fixed bound ladder runtime histograms are
+// re-bucketed into: 1µs to 100ms in a 1–2.5–5 progression. GC pauses
+// and scheduler latencies live in the microsecond range, far below the
+// request-latency ladder LatencyBuckets covers.
+func microBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6,
+		1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2, 1e-1,
+	}
+}
+
+// rebucket folds a runtime/metrics Float64Histogram onto fixed bounds:
+// each runtime bucket's count lands in the first fixed bucket whose
+// bound covers the runtime bucket's upper edge (+Inf when none does).
+// The sample sum is approximated from bucket midpoints — runtime
+// histograms carry no exact sum — which is fine for the ratios
+// dashboards compute from it.
+func rebucket(h *metrics.Float64Histogram, bounds []float64) HistogramSample {
+	out := HistogramSample{Bounds: bounds, Counts: make([]uint64, len(bounds)+1)}
+	if h == nil {
+		return out
+	}
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		// Place by upper edge; an infinite edge lands in the overflow
+		// bucket.
+		j := len(bounds)
+		for b, ub := range bounds {
+			if hi <= ub {
+				j = b
+				break
+			}
+		}
+		out.Counts[j] += n
+		mid := (lo + hi) / 2
+		if math.IsInf(hi, 1) {
+			mid = lo
+		}
+		if math.IsInf(lo, -1) {
+			mid = hi
+		}
+		if !math.IsInf(mid, 0) && !math.IsNaN(mid) {
+			out.Sum += float64(n) * mid
+		}
+	}
+	return out
+}
+
+// Register wires the collector's series into reg under the given name
+// prefix (e.g. "simjoind"): goroutine and heap gauges, GC-pause and
+// scheduler-latency histograms, a GC cycle counter, and the
+// goroutine-growth watchdog gauge.
+func (c *RuntimeCollector) Register(reg *Registry, prefix string) {
+	reg.NewGaugeFunc(prefix+"_go_goroutines",
+		"Goroutines currently live (runtime/metrics).",
+		func() float64 {
+			var v float64
+			c.with(func(s []metrics.Sample) {
+				n := int64(s[0].Value.Uint64())
+				if c.low == 0 || n < c.low {
+					c.low = n
+				}
+				v = float64(n)
+			})
+			return v
+		})
+	reg.NewGaugeFunc(prefix+"_go_goroutine_growth",
+		"Goroutine-growth watchdog: current goroutine count over the low-water mark observed since start. A steadily rising value means a leak.",
+		func() float64 {
+			var v float64
+			c.with(func(s []metrics.Sample) {
+				n := int64(s[0].Value.Uint64())
+				if c.low == 0 || n < c.low {
+					c.low = n
+				}
+				v = float64(n) / float64(c.low)
+			})
+			return v
+		})
+	reg.NewGaugeFunc(prefix+"_go_heap_bytes",
+		"Bytes of live heap objects (runtime/metrics /memory/classes/heap/objects).",
+		func() float64 {
+			var v float64
+			c.with(func(s []metrics.Sample) { v = float64(s[1].Value.Uint64()) })
+			return v
+		})
+	reg.NewHistogramFunc(prefix+"_go_gc_pause_seconds",
+		"Distribution of stop-the-world GC pause latencies since process start (re-bucketed from runtime/metrics; sum approximated from bucket midpoints).",
+		func() HistogramSample {
+			var hs HistogramSample
+			c.with(func(s []metrics.Sample) { hs = rebucket(s[2].Value.Float64Histogram(), microBuckets()) })
+			return hs
+		})
+	reg.NewHistogramFunc(prefix+"_go_sched_latency_seconds",
+		"Distribution of goroutine scheduling latencies since process start (re-bucketed from runtime/metrics; sum approximated from bucket midpoints).",
+		func() HistogramSample {
+			var hs HistogramSample
+			c.with(func(s []metrics.Sample) { hs = rebucket(s[3].Value.Float64Histogram(), microBuckets()) })
+			return hs
+		})
+	reg.NewCounterFunc(prefix+"_go_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		func() int64 {
+			var v int64
+			c.with(func(s []metrics.Sample) { v = int64(s[4].Value.Uint64()) })
+			return v
+		})
+}

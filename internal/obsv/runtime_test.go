@@ -1,0 +1,98 @@
+package obsv
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeCollectorRegisters(t *testing.T) {
+	runtime.GC() // ensure at least one pause is on record
+	reg := NewRegistry()
+	NewRuntimeCollector().Register(reg, "test")
+	var sb strings.Builder
+	reg.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"test_go_goroutines ",
+		"test_go_goroutine_growth ",
+		"test_go_heap_bytes ",
+		"test_go_gc_pause_seconds_bucket{le=\"+Inf\"}",
+		"test_go_gc_pause_seconds_count",
+		"test_go_sched_latency_seconds_bucket",
+		"test_go_gc_cycles_total ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+	// The growth watchdog starts at exactly 1 on the first scrapes (the
+	// low-water mark is set from the first observation).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "test_go_goroutine_growth ") {
+			if !strings.HasSuffix(line, " 1") {
+				t.Fatalf("first-scrape growth gauge = %q, want 1", line)
+			}
+		}
+	}
+}
+
+func TestRuntimeCollectorGrowthTracksLowWater(t *testing.T) {
+	c := NewRuntimeCollector()
+	reg := NewRegistry()
+	c.Register(reg, "t")
+	var sb strings.Builder
+	reg.Write(&sb) // primes the low-water mark
+	if c.low <= 0 {
+		t.Fatalf("low-water mark not primed: %d", c.low)
+	}
+	// Spawn goroutines parked until cleanup; the ratio must now exceed 1.
+	stop := make(chan struct{})
+	defer close(stop)
+	for i := 0; i < 50; i++ {
+		go func() { <-stop }()
+	}
+	sb.Reset()
+	reg.Write(&sb)
+	growth := scrapeValue(t, sb.String(), "t_go_goroutine_growth")
+	if growth <= 1 {
+		t.Fatalf("growth gauge = %v after spawning 50 goroutines, want > 1", growth)
+	}
+}
+
+func scrapeValue(t *testing.T, scrape, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(scrape, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not in scrape:\n%s", name, scrape)
+	return 0
+}
+
+func TestRebucket(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{3, 5, 2},
+		Buckets: []float64{math.Inf(-1), 1e-6, 1e-3, math.Inf(1)},
+	}
+	bounds := []float64{1e-6, 1e-3}
+	s := rebucket(h, bounds)
+	if s.Counts[0] != 3 || s.Counts[1] != 5 || s.Counts[2] != 2 {
+		t.Fatalf("rebucket counts = %v", s.Counts)
+	}
+	if s.Sum <= 0 {
+		t.Fatalf("rebucket sum = %v, want > 0", s.Sum)
+	}
+	empty := rebucket(nil, bounds)
+	if len(empty.Counts) != len(bounds)+1 {
+		t.Fatalf("nil histogram counts = %v", empty.Counts)
+	}
+}

@@ -1,0 +1,42 @@
+package trace
+
+import "sort"
+
+// Collect gathers every span belonging to traceID across a set of
+// retained traces. One process can legitimately retain several
+// TraceData under the same trace ID — a coordinator estimate GET and
+// the join POST that follows both continue the client's trace, and each
+// handler seals its own trace view — so callers merge them all.
+func Collect(traces []TraceData, traceID string) []SpanData {
+	var out []SpanData
+	for _, td := range traces {
+		if td.TraceID != traceID {
+			continue
+		}
+		out = append(out, td.Spans...)
+	}
+	return out
+}
+
+// Stitch assembles span sets gathered from multiple processes into one
+// distributed trace: spans are deduplicated by SpanID (first occurrence
+// wins, so pass the most authoritative source first) and ordered by
+// start time. The result is a single tree when the sets were propagated
+// through traceparent links — each worker's root span carries the
+// coordinator's attempt span as its remote parent — and Root/ChildrenOf
+// walk it like any local trace.
+func Stitch(traceID string, sets ...[]SpanData) TraceData {
+	seen := make(map[string]bool)
+	var spans []SpanData
+	for _, set := range sets {
+		for _, sd := range set {
+			if sd.TraceID != traceID || seen[sd.SpanID] {
+				continue
+			}
+			seen[sd.SpanID] = true
+			spans = append(spans, sd)
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	return TraceData{TraceID: traceID, Spans: spans}
+}

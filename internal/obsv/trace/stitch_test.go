@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func sd(trace, span, parent, name string, start time.Time) SpanData {
+	return SpanData{TraceID: trace, SpanID: span, ParentID: parent, Name: name, Start: start}
+}
+
+func TestCollectMergesMultipleTraceData(t *testing.T) {
+	t0 := time.Now()
+	traces := []TraceData{
+		{TraceID: "t1", Spans: []SpanData{sd("t1", "a", "", "estimate", t0)}},
+		{TraceID: "t2", Spans: []SpanData{sd("t2", "x", "", "other", t0)}},
+		{TraceID: "t1", Spans: []SpanData{sd("t1", "b", "", "selfjoin", t0.Add(time.Millisecond))}},
+	}
+	got := Collect(traces, "t1")
+	if len(got) != 2 {
+		t.Fatalf("Collect returned %d spans, want 2: %+v", len(got), got)
+	}
+}
+
+func TestStitchBuildsOneTree(t *testing.T) {
+	t0 := time.Now()
+	// Coordinator view: root + one attempt span per worker.
+	coord := []SpanData{
+		sd("t1", "root", "", "http.selfjoin", t0),
+		sd("t1", "att1", "root", "rclient.attempt", t0.Add(1*time.Millisecond)),
+		sd("t1", "att2", "root", "rclient.attempt", t0.Add(2*time.Millisecond)),
+	}
+	// Worker views: each root parented on the coordinator's attempt span.
+	w1 := []SpanData{
+		sd("t1", "w1root", "att1", "http.selfjoin", t0.Add(3*time.Millisecond)),
+		sd("t1", "w1join", "w1root", "join.self", t0.Add(4*time.Millisecond)),
+	}
+	w2 := []SpanData{
+		sd("t1", "w2root", "att2", "http.selfjoin", t0.Add(3*time.Millisecond)),
+		// A stray span from another trace must not leak in.
+		sd("t9", "zzz", "", "noise", t0),
+	}
+	// Worker 1's spans arrive twice (e.g. retry fetched it from two
+	// sources) — duplicates collapse.
+	td := Stitch("t1", coord, w1, w2, w1)
+	if len(td.Spans) != 6 {
+		t.Fatalf("stitched %d spans, want 6: %+v", len(td.Spans), td.Spans)
+	}
+	root, ok := td.Root()
+	if !ok || root.SpanID != "root" {
+		t.Fatalf("Root = %+v ok=%v, want the coordinator root", root, ok)
+	}
+	// Every non-root span must be reachable from the root: a single tree.
+	reach := map[string]bool{"root": true}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range td.Spans {
+			if !reach[s.SpanID] && reach[s.ParentID] {
+				reach[s.SpanID] = true
+				changed = true
+			}
+		}
+	}
+	for _, s := range td.Spans {
+		if !reach[s.SpanID] {
+			t.Fatalf("span %s not reachable from root", s.SpanID)
+		}
+	}
+	// Ordered by start time.
+	for i := 1; i < len(td.Spans); i++ {
+		if td.Spans[i].Start.Before(td.Spans[i-1].Start) {
+			t.Fatalf("spans not start-ordered at %d", i)
+		}
+	}
+}
+
+func TestStitchEmpty(t *testing.T) {
+	td := Stitch("t1")
+	if td.TraceID != "t1" || len(td.Spans) != 0 {
+		t.Fatalf("empty stitch = %+v", td)
+	}
+}

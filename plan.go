@@ -75,6 +75,65 @@ func PlanJoin(a, b *Dataset, m Metric, eps float64) Plan {
 	return toPlan(p)
 }
 
+// Explanation is the EXPLAIN report for a prospective join: the request
+// as the planner understood it, the engine that would actually run, and
+// the always-filled size prediction — everything a caller needs to
+// judge a query before paying for it.
+type Explanation struct {
+	// Eps and Metric echo the request.
+	Eps    float64
+	Metric Metric
+	// Requested is the algorithm the options named ("" when the caller
+	// left the default).
+	Requested Algorithm
+	// Algorithm is the engine that would run: the default for "", the
+	// planner's choice for AlgorithmAuto, the explicit name otherwise.
+	Algorithm Algorithm
+	// Plan is the size prediction, filled even when the algorithm choice
+	// did not need it (an explicit algorithm still gets priced).
+	Plan Plan
+}
+
+// Explain reports what a SelfJoin with these options would do — resolved
+// engine plus prediction — without running it. The prediction comes from
+// the dataset's resident sketch when one is attached (O(1), no pass over
+// the points) and the sampling estimator otherwise.
+func Explain(ds *Dataset, opt Options) (Explanation, error) {
+	if err := opt.validate(); err != nil {
+		return Explanation{}, err
+	}
+	return explanation(opt, PlanSelfJoin(ds, opt.Metric, opt.Eps)), nil
+}
+
+// ExplainJoin is Explain for a two-set join.
+func ExplainJoin(a, b *Dataset, opt Options) (Explanation, error) {
+	if err := opt.validate(); err != nil {
+		return Explanation{}, err
+	}
+	if err := checkJoinDims(a, b); err != nil {
+		return Explanation{}, err
+	}
+	return explanation(opt, PlanJoin(a, b, opt.Metric, opt.Eps)), nil
+}
+
+func explanation(opt Options, pl Plan) Explanation {
+	ex := Explanation{
+		Eps:       opt.Eps,
+		Metric:    opt.Metric,
+		Requested: opt.Algorithm,
+		Plan:      pl,
+	}
+	switch opt.Algorithm {
+	case "":
+		ex.Algorithm = AlgorithmEKDB
+	case AlgorithmAuto:
+		ex.Algorithm = pl.Algorithm
+	default:
+		ex.Algorithm = opt.Algorithm
+	}
+	return ex
+}
+
 func toPlan(p estimate.Prediction) Plan {
 	return Plan{
 		Algorithm:      Algorithm(p.Algorithm),
