@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"simjoin/internal/gateway"
+	"simjoin/internal/obsv/trace"
+)
+
+// gatewayReloadInterval is how often the gateway polls the -tenants
+// file's mtime; SIGHUP reloads immediately without waiting for a tick.
+const gatewayReloadInterval = 2 * time.Second
+
+// startGateway builds the -gateway handler: the multi-tenant front door
+// over the -backends fleet, with the -tenants config installed and kept
+// hot via SIGHUP and mtime polling. The returned stop func tears the
+// reload machinery down and drains in-flight shadow requests.
+func startGateway(logger *slog.Logger, backendsFlag, tenantsPath string, maxBody int64, traceRing int) (http.Handler, func(), error) {
+	if backendsFlag == "" {
+		return nil, nil, fmt.Errorf("-gateway requires -backends")
+	}
+	if tenantsPath == "" {
+		return nil, nil, fmt.Errorf("-gateway requires -tenants (see docs/GATEWAY.md for the config shape)")
+	}
+	urls, err := parseWorkers(backendsFlag)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parsing -backends: %w", err)
+	}
+	g, err := gateway.New(gateway.Options{
+		Backends: urls,
+		Logger:   logger,
+		Tracer:   trace.New(traceRing),
+		MaxBody:  maxBody,
+		Build:    buildVersion,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := g.LoadConfigFile(tenantsPath); err != nil {
+		return nil, nil, err
+	}
+	logger.Info("gateway config loaded", "path", tenantsPath, "backends", len(urls))
+
+	stop := make(chan struct{})
+	go g.WatchConfig(stop, gatewayReloadInterval)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				signal.Stop(hup)
+				return
+			case <-hup:
+				if err := g.Reload(); err != nil {
+					logger.Error("SIGHUP reload failed; keeping previous config", "error", err)
+				} else {
+					logger.Info("SIGHUP reload applied", "path", tenantsPath)
+				}
+			}
+		}
+	}()
+	return g.Handler(), func() {
+		close(stop)
+		g.ShadowDrain()
+	}, nil
+}

@@ -1,0 +1,303 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"simjoin/internal/gateway"
+	"simjoin/internal/rclient"
+)
+
+// startGatewayStack boots the full production topology in-process: a
+// gateway in front of a real coordinator sharding over three real
+// workers. Returned is the gateway object (for metrics/drain) and its
+// server; datasets are uploaded through the coordinator URL.
+func startGatewayStack(t *testing.T, cfg *gateway.Config) (*gateway.Gateway, *httptest.Server, *httptest.Server) {
+	t.Helper()
+	coord, _ := startCluster(t, 3, 0.35)
+	g, err := gateway.New(gateway.Options{
+		Backends: []string{coord.URL},
+		Client: &rclient.Client{
+			MaxRetries:     2,
+			BaseDelay:      2 * time.Millisecond,
+			MaxDelay:       10 * time.Millisecond,
+			AttemptTimeout: 10 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatalf("gateway.New: %v", err)
+	}
+	if err := g.SetConfig(cfg); err != nil {
+		t.Fatalf("SetConfig: %v", err)
+	}
+	gw := httptest.NewServer(g.Handler())
+	t.Cleanup(gw.Close)
+	return g, gw, coord
+}
+
+// gwJoin posts a selfjoin through the gateway as one tenant.
+func gwJoin(t *testing.T, gwURL, key, dataset string, body map[string]any, sticky string) (*http.Response, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, gwURL+"/datasets/"+dataset+"/selfjoin", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+key)
+	if sticky != "" {
+		req.Header.Set(gateway.StickyHeader, sticky)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+// scrapeGW fetches the gateway's /metrics text.
+func scrapeGW(t *testing.T, gwURL string) string {
+	t.Helper()
+	resp, err := http.Get(gwURL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(text)
+}
+
+// sampleValue pulls one sample's value out of Prometheus text.
+func sampleValue(text, sample string) float64 {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, sample+" ") {
+			var v float64
+			fmt.Sscanf(line[len(sample)+1:], "%g", &v)
+			return v
+		}
+	}
+	return 0
+}
+
+// TestGatewayE2EQuotaIsolation is the tenancy acceptance test: tenant A
+// exhausting its quota is shed with 429 + Retry-After while tenant B's
+// traffic through the same gateway is unaffected.
+func TestGatewayE2EQuotaIsolation(t *testing.T) {
+	_, gw, coord := startGatewayStack(t, &gateway.Config{
+		Tenants: []gateway.Tenant{
+			{Name: "a", Key: "key-a", RatePerSec: 0.0001, Burst: 3},
+			{Name: "b", Key: "key-b"},
+		},
+	})
+	putPoints(t, coord.URL, "d", clusterPoints(200, 4, 7))
+
+	shed := 0
+	for i := 0; i < 6; i++ {
+		resp, body := gwJoin(t, gw.URL, "key-a", "d", map[string]any{"eps": 0.2}, "")
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			shed++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			if body["reason"] != "rate" {
+				t.Fatalf("shed reason %v, want rate", body["reason"])
+			}
+		default:
+			t.Fatalf("tenant a request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if shed != 3 {
+		t.Fatalf("tenant a: %d of 6 requests shed past burst 3, want 3", shed)
+	}
+	// Tenant B is untouched by A's exhaustion.
+	for i := 0; i < 5; i++ {
+		resp, body := gwJoin(t, gw.URL, "key-b", "d", map[string]any{"eps": 0.2}, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant b request %d caught in a's quota: status %d %v", i, resp.StatusCode, body)
+		}
+	}
+	text := scrapeGW(t, gw.URL)
+	if got := sampleValue(text, `simjoin_gw_shed_total{tenant="a",reason="rate"}`); got != 3 {
+		t.Fatalf(`shed_total{a,rate} = %v, want 3`, got)
+	}
+	if got := sampleValue(text, `simjoin_gw_shed_total{tenant="b",reason="rate"}`); got != 0 {
+		t.Fatalf(`shed_total{b,rate} = %v, want 0`, got)
+	}
+}
+
+// TestGatewayE2EABSplit drives 200 requests with distinct sticky keys
+// through a 50% experiment and checks both that the split lands within
+// ±15 points and that every key's assignment is deterministic.
+func TestGatewayE2EABSplit(t *testing.T) {
+	_, gw, coord := startGatewayStack(t, &gateway.Config{
+		Tenants: []gateway.Tenant{{Name: "a", Key: "k"}},
+		Experiments: []gateway.Experiment{
+			{Name: "split", Percent: 50, Override: gateway.Override{Algorithm: "brute"}},
+		},
+	})
+	putPoints(t, coord.URL, "d", clusterPoints(120, 4, 11))
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		resp, body := gwJoin(t, gw.URL, "k", "d", map[string]any{"eps": 0.15}, fmt.Sprintf("user-%d", i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d %v", i, resp.StatusCode, body)
+		}
+	}
+	text := scrapeGW(t, gw.URL)
+	cand := sampleValue(text, `simjoin_gw_arm_requests_total{experiment="split",arm="candidate"}`)
+	inc := sampleValue(text, `simjoin_gw_arm_requests_total{experiment="split",arm="incumbent"}`)
+	if cand+inc != n {
+		t.Fatalf("arms account for %v requests, want %d", cand+inc, n)
+	}
+	if cand < n*0.35 || cand > n*0.65 {
+		t.Fatalf("50%% experiment routed %v/%d to the candidate (outside ±15 points)", cand, n)
+	}
+	// Latency histograms exist for both arms.
+	for _, arm := range []string{"incumbent", "candidate"} {
+		want := fmt.Sprintf(`simjoin_gw_arm_latency_seconds_count{experiment="split",arm=%q}`, arm)
+		if sampleValue(text, want) == 0 {
+			t.Fatalf("no latency samples for arm %s", arm)
+		}
+	}
+}
+
+// TestGatewayE2EShadowNoMismatch shadows every join onto a forced-brute
+// candidate over the real 3-worker cluster. Brute force and the default
+// engine are both exact, so the differ must report zero mismatches —
+// this is the experiment pipeline's end-to-end correctness proof.
+func TestGatewayE2EShadowNoMismatch(t *testing.T) {
+	g, gw, coord := startGatewayStack(t, &gateway.Config{
+		Tenants: []gateway.Tenant{{Name: "a", Key: "k"}},
+		Experiments: []gateway.Experiment{
+			{Name: "sh", Percent: 100, Shadow: true, Override: gateway.Override{Algorithm: "brute"}},
+		},
+	})
+	putPoints(t, coord.URL, "d", clusterPoints(150, 4, 13))
+
+	const n = 8
+	for i := 0; i < n; i++ {
+		resp, body := gwJoin(t, gw.URL, "k", "d", map[string]any{"eps": 0.15}, fmt.Sprintf("s%d", i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d %v", i, resp.StatusCode, body)
+		}
+		if _, hasPairs := body["pairs"]; !hasPairs {
+			t.Fatalf("shadowed request %d lost the incumbent answer: %v", i, body)
+		}
+	}
+	g.ShadowDrain()
+	text := scrapeGW(t, gw.URL)
+	diffs := sampleValue(text, `simjoin_gw_shadow_diffs_total{experiment="sh"}`)
+	dropped := sampleValue(text, "simjoin_gw_shadow_dropped_total")
+	if diffs+dropped != n {
+		t.Fatalf("shadow runs: %v diffed + %v dropped, want %d total", diffs, dropped, n)
+	}
+	if diffs == 0 {
+		t.Fatal("every shadow was dropped — nothing was compared")
+	}
+	if got := sampleValue(text, `simjoin_gw_shadow_mismatch_total{experiment="sh"}`); got != 0 {
+		t.Fatalf("exact engines disagreed %v times in shadow", got)
+	}
+}
+
+// TestGatewayE2EStitchedTrace sends a traced join through the gateway
+// and asserts GET /debug/traces/{id} on the gateway stitches spans from
+// the gateway, the coordinator and the workers into one tree.
+func TestGatewayE2EStitchedTrace(t *testing.T) {
+	_, gw, coord := startGatewayStack(t, &gateway.Config{
+		Tenants: []gateway.Tenant{{Name: "a", Key: "k"}},
+	})
+	putPoints(t, coord.URL, "d", clusterPoints(100, 4, 17))
+
+	traceID := "4bf92f3577b34da6a3ce929d0e0e4736"
+	raw, _ := json.Marshal(map[string]any{"eps": 0.2})
+	req, _ := http.NewRequest(http.MethodPost, gw.URL+"/datasets/d/selfjoin", bytes.NewReader(raw))
+	req.Header.Set("Authorization", "Bearer k")
+	req.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced join: status %d", resp.StatusCode)
+	}
+
+	r2, err := http.Get(gw.URL + "/debug/traces/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("stitched trace: status %d", r2.StatusCode)
+	}
+	var st struct {
+		TraceID string `json:"trace_id"`
+		Spans   []struct {
+			Name     string `json:"name"`
+			ParentID string `json:"parent_id"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != traceID {
+		t.Fatalf("trace id %q, want %q", st.TraceID, traceID)
+	}
+	var gwSpan, backendSpan bool
+	for _, sp := range st.Spans {
+		if strings.HasPrefix(sp.Name, "gw ") {
+			gwSpan = true
+		} else {
+			backendSpan = true
+		}
+	}
+	if !gwSpan || !backendSpan || len(st.Spans) < 3 {
+		t.Fatalf("stitched trace has %d spans (gateway=%v backend=%v) — not a full gateway→coordinator→worker tree", len(st.Spans), gwSpan, backendSpan)
+	}
+}
+
+// TestGatewayE2EFloat32Override proves the Float32 experiment override
+// reaches the engines: a 100% (non-shadow) rule flips float32 on and
+// the join still answers the exact pair set end to end.
+func TestGatewayE2EFloat32Override(t *testing.T) {
+	f32 := true
+	_, gw, coord := startGatewayStack(t, &gateway.Config{
+		Tenants: []gateway.Tenant{{Name: "a", Key: "k"}},
+		Experiments: []gateway.Experiment{
+			{Name: "f32", Percent: 100, Override: gateway.Override{Float32: &f32}},
+		},
+	})
+	putPoints(t, coord.URL, "d", clusterPoints(150, 4, 19))
+
+	// Oracle: the same join through the coordinator without the gateway.
+	respO, bodyO := doJSON(t, http.MethodPost, coord.URL+"/datasets/d/selfjoin", map[string]any{"eps": 0.15})
+	if respO.StatusCode != http.StatusOK {
+		t.Fatalf("oracle join: %d", respO.StatusCode)
+	}
+	resp, body := gwJoin(t, gw.URL, "k", "d", map[string]any{"eps": 0.15}, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("float32 arm join: %d %v", resp.StatusCode, body)
+	}
+	if body["total"] != bodyO["total"] {
+		t.Fatalf("float32 arm total %v differs from exact oracle %v", body["total"], bodyO["total"])
+	}
+}

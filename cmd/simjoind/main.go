@@ -39,6 +39,19 @@
 //
 //	simjoind -addr :8080 -workers http://w1:8081,http://w2:8082 [-margin 0.25]
 //
+// Gateway mode mounts the multi-tenant front door (internal/gateway,
+// see docs/GATEWAY.md) over one coordinator or a flat worker fleet:
+// API-key tenants with rate limits, fair queuing and estimate-priced
+// shedding, plus A/B experiment routing with shadow traffic:
+//
+//	simjoind -addr :8080 -gateway -backends http://coord:8081 -tenants tenants.json
+//
+// The -tenants config hot-reloads on SIGHUP and whenever the file's
+// mtime changes.
+//
+// -version prints the binary's build identity block (the /healthz
+// "build" object) and exits.
+//
 // Every response is JSON; errors carry {"error": "…"} with a 4xx/5xx
 // status. The server logs one structured JSON line per request to
 // stderr (method, route, status, bytes, duration, trace_id) and shuts
@@ -47,6 +60,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -94,10 +108,24 @@ func run(argv []string) int {
 		maxPairs     = fs.Int64("max-pairs", 0, "admission budget: reject (429) or, on request, degrade join queries whose estimated result size exceeds this many pairs (0 = unlimited)")
 		sketchOn     = fs.Bool("sketch", true, "maintain a resident join-size sketch per dataset for O(1) estimates (worker mode)")
 		traceRing    = fs.Int("trace-ring", defaultTraceCapacity, "completed request traces retained for GET /debug/traces")
+		gatewayMode  = fs.Bool("gateway", false, "gateway mode: multi-tenant front door over -backends (see docs/GATEWAY.md)")
+		backends     = fs.String("backends", "", "comma-separated backend base URLs for -gateway (one coordinator or a flat worker fleet)")
+		tenants      = fs.String("tenants", "", "gateway tenancy + experiment config (JSON); hot-reloaded on SIGHUP and file change")
+		version      = fs.Bool("version", false, "print the build identity block (the /healthz build object) and exit")
 		loads        loadFlags
 	)
 	fs.Var(&loads, "load", "preload a dataset: name=path (repeatable; worker mode only)")
 	_ = fs.Parse(argv)
+
+	if *version {
+		out, err := json.MarshalIndent(buildVersion, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Println(string(out))
+		return 0
+	}
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	if *maxBody < 1 {
@@ -114,7 +142,21 @@ func run(argv []string) int {
 	// drain: it terminates long-lived watch streams with a terminal
 	// NDJSON event so the drain isn't held open by standing queries.
 	var onStop func()
-	if *workers != "" {
+	switch {
+	case *gatewayMode:
+		if *workers != "" {
+			logger.Error("-gateway and -workers are mutually exclusive; point -backends at the coordinator instead")
+			return 2
+		}
+		gh, gwStop, err := startGateway(logger, *backends, *tenants, *maxBody, *traceRing)
+		if err != nil {
+			logger.Error("starting gateway", "error", err)
+			return 2
+		}
+		h = gh
+		onStop = gwStop
+		logger.Info("simjoind gatewaying", "addr", *addr, "tenants", *tenants)
+	case *workers != "":
 		if len(loads) > 0 {
 			logger.Error("-load is not supported in coordinator mode; load data on the workers or upload through the coordinator")
 			return 2
@@ -137,7 +179,7 @@ func run(argv []string) int {
 		h = cs.handler()
 		onStop = cs.shutdownWatches
 		logger.Info("simjoind coordinating", "workers", len(urls), "addr", *addr, "margin", *margin)
-	} else {
+	default:
 		srv := newServer()
 		srv.debug = *debug
 		srv.log = logger

@@ -430,6 +430,7 @@ type joinParams struct {
 	Metric    string  `json:"metric"`    // "L2" (default), "L1", "Linf"
 	Algorithm string  `json:"algorithm"` // default "ekdb"; "auto" allowed
 	Workers   int     `json:"workers"`
+	Float32   bool    `json:"float32"`   // float32 kernel mode (see docs/KERNELS.md)
 	MaxPairs  int     `json:"max_pairs"` // truncate the response (0 = no cap)
 	Stream    bool    `json:"stream"`    // NDJSON: one [i,j] line per pair, then a summary object
 	// Degrade opts into the admission budget's soft failure mode: a
@@ -440,7 +441,7 @@ type joinParams struct {
 }
 
 func (p joinParams) options() (simjoin.Options, error) {
-	opt := simjoin.Options{Eps: p.Eps, Workers: p.Workers, Algorithm: simjoin.Algorithm(p.Algorithm)}
+	opt := simjoin.Options{Eps: p.Eps, Workers: p.Workers, Algorithm: simjoin.Algorithm(p.Algorithm), Float32: p.Float32}
 	if p.Metric != "" {
 		m, err := simjoin.ParseMetric(p.Metric)
 		if err != nil {

@@ -1,0 +1,76 @@
+package gateway
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// bucket is a monotonic-clock token bucket. The zero rate means
+// unlimited; limits are mutated in place on config reload (under mu) so
+// in-flight holders never see a freed bucket.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; 0 = unlimited
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+// newBucket returns a full bucket. burst <= 0 defaults to
+// max(rate, 1) so a configured rate always admits at least one request.
+func newBucket(rate, burst float64) *bucket {
+	if burst <= 0 {
+		burst = math.Max(rate, 1)
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// setLimits swaps the refill parameters atomically, clamping the
+// current fill to the new capacity so a shrink takes effect now and a
+// grow doesn't mint retroactive tokens.
+func (b *bucket) setLimits(rate, burst float64) {
+	if burst <= 0 {
+		burst = math.Max(rate, 1)
+	}
+	b.mu.Lock()
+	b.refillLocked(time.Now())
+	b.rate, b.burst = rate, burst
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	b.mu.Unlock()
+}
+
+func (b *bucket) refillLocked(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = now
+}
+
+// take consumes one token. On failure it returns how long until one is
+// available — the Retry-After the shed response carries.
+func (b *bucket) take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.refillLocked(time.Now())
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Second {
+		// Round the advisory up: a sub-second Retry-After serialized as
+		// "0" would tell clients to hammer immediately.
+		wait = time.Second
+	}
+	return false, wait
+}

@@ -1,0 +1,63 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketBurstThenShed(t *testing.T) {
+	b := newBucket(10, 2)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("take %d refused within burst", i)
+		}
+	}
+	ok, retryAfter := b.take()
+	if ok {
+		t.Fatal("take succeeded past burst")
+	}
+	if retryAfter < time.Second {
+		t.Fatalf("sub-second Retry-After %v not rounded up", retryAfter)
+	}
+}
+
+func TestBucketRefills(t *testing.T) {
+	b := newBucket(1000, 1)
+	if ok, _ := b.take(); !ok {
+		t.Fatal("first take refused")
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		if ok, _ := b.take(); ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bucket never refilled at 1000/s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBucketZeroRateUnlimited(t *testing.T) {
+	b := newBucket(0, 0)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("unlimited bucket refused take %d", i)
+		}
+	}
+}
+
+func TestBucketSetLimitsClampsFill(t *testing.T) {
+	b := newBucket(1, 10)
+	b.setLimits(1, 1)
+	if ok, _ := b.take(); !ok {
+		t.Fatal("take refused after shrink")
+	}
+	if ok, _ := b.take(); ok {
+		t.Fatal("shrink to burst 1 left more than one token")
+	}
+	b.setLimits(0, 0)
+	if ok, _ := b.take(); !ok {
+		t.Fatal("reload to unlimited still limited")
+	}
+}

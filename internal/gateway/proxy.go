@@ -1,0 +1,769 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"simjoin/internal/obsv/querylog"
+	"simjoin/internal/obsv/trace"
+)
+
+// Handler wires the gateway's routes: the full worker/coordinator REST
+// surface proxied behind tenancy, plus the gateway's own health, metric
+// and debug endpoints. Debug and scrape routes sit outside the
+// instrument middleware for the same reason they do on the backends —
+// scraping must not mint traffic.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, g.instrument(pattern, h))
+	}
+	handle("GET /healthz", g.handleHealthz)
+	handle("GET /datasets", g.handleListDatasets)
+	handle("GET /datasets/{name}", g.proxyLight)
+	handle("GET /datasets/{name}/explain", g.proxyLight)
+	handle("DELETE /datasets/{name}", g.proxyLight)
+	handle("PUT /datasets/{name}", g.proxyUpload)
+	handle("POST /datasets/{name}/points", g.proxyUpload)
+	handle("POST /datasets/{name}/watch", g.proxyWatch)
+	handle("POST /datasets/{name}/selfjoin", g.handleSelfJoin)
+	handle("POST /datasets/{name}/range", g.handleSimpleQuery)
+	handle("POST /datasets/{name}/knn", g.handleSimpleQuery)
+	handle("POST /join", g.handleJoin)
+	mux.Handle("GET /metrics", g.m.reg.Handler())
+	mux.HandleFunc("GET /debug/traces", g.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", g.handleStitchedTrace)
+	mux.HandleFunc("GET /debug/queries", g.handleQueries)
+	return mux
+}
+
+// instrument is the gateway's request middleware: a server span
+// (continuing the caller's traceparent when present), per-route
+// request/error/latency metrics, and one structured access-log line.
+func (g *Gateway) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sp := g.tracer.StartRemote("gw "+pattern, r.Header.Get("traceparent"))
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		if sp != nil {
+			r = r.WithContext(trace.NewContext(r.Context(), sp))
+		}
+		g.m.httpRequests.With(pattern).Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		elapsed := time.Since(start)
+		g.m.httpLatency.With(pattern).Observe(elapsed.Seconds())
+		if sw.status >= 400 {
+			g.m.httpErrors.With(pattern).Inc()
+		}
+		sp.SetAttr("status", strconv.Itoa(sw.status))
+		sp.End()
+		if g.log == nil {
+			return
+		}
+		level := slog.LevelInfo
+		if sw.status >= 500 {
+			level = slog.LevelError
+		} else if sw.status >= 400 {
+			level = slog.LevelWarn
+		}
+		attrs := []any{
+			slog.String("method", r.Method),
+			slog.String("route", pattern),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", elapsed),
+		}
+		if sp != nil {
+			attrs = append(attrs,
+				slog.String("trace_id", sp.TraceID().String()),
+				slog.String("span_id", sp.SpanID().String()))
+		}
+		g.log.Log(r.Context(), level, "gateway request", attrs...)
+	}
+}
+
+// statusWriter mirrors the daemon's response recorder: status for the
+// error counter, Flush/Unwrap passthrough for streamed proxying.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// httpError writes a JSON error with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// apiKey extracts the presented API key: "Authorization: Bearer <key>"
+// wins, "X-Api-Key: <key>" is the fallback.
+func apiKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if rest, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(rest)
+		}
+		return ""
+	}
+	return r.Header.Get("X-Api-Key")
+}
+
+// authenticate resolves the request's tenant, answering 401 itself on a
+// missing or unknown key.
+func (g *Gateway) authenticate(w http.ResponseWriter, r *http.Request) (*tenantRT, bool) {
+	rt, ok := g.lookup(apiKey(r))
+	if !ok {
+		g.m.shed.With("", "auth").Inc()
+		w.Header().Set("WWW-Authenticate", `Bearer realm="simjoin-gateway"`)
+		httpError(w, http.StatusUnauthorized, "missing or unknown API key")
+		return nil, false
+	}
+	g.m.requests.With(rt.name).Inc()
+	if sp := trace.FromContext(r.Context()); sp != nil {
+		sp.SetAttr("tenant", rt.name)
+	}
+	return rt, true
+}
+
+// shedResponse answers 429 with a Retry-After header and a JSON body
+// naming the reason, and journals the refusal. extra merges additional
+// fields (the estimate contract) into the body.
+func (g *Gateway) shedResponse(w http.ResponseWriter, rt *tenantRT, kind, dataset, reason string, retryAfter time.Duration, msg string, extra map[string]any) {
+	g.m.shed.With(rt.name, reason).Inc()
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	body := map[string]any{
+		"error":               msg,
+		"reason":              reason,
+		"tenant":              rt.name,
+		"retry_after_seconds": secs,
+	}
+	for k, v := range extra {
+		body[k] = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = json.NewEncoder(w).Encode(body)
+	g.qlog.Add(querylog.Record{
+		Kind: kind, Dataset: dataset, EstimatedPairs: -1,
+		Outcome: querylog.OutcomeRejected,
+		Error:   fmt.Sprintf("tenant %q shed (%s): %s", rt.name, reason, msg),
+	})
+}
+
+// admitRate charges the tenant's token bucket, shedding on exhaustion.
+func (g *Gateway) admitRate(w http.ResponseWriter, rt *tenantRT, kind, dataset string) bool {
+	ok, retryAfter := rt.bucket.take()
+	if !ok {
+		g.shedResponse(w, rt, kind, dataset, "rate", retryAfter,
+			fmt.Sprintf("tenant %q rate limit exceeded", rt.name), nil)
+		return false
+	}
+	return true
+}
+
+// admitQueue acquires a fair-queue slot, shedding when the tenant is at
+// its in-flight cap and mapping a client disconnect while queued to 503.
+// The returned release func must be called exactly once when non-nil.
+func (g *Gateway) admitQueue(w http.ResponseWriter, r *http.Request, rt *tenantRT, kind, dataset string) (func(), bool) {
+	start := time.Now()
+	release, err := g.queue.acquire(r.Context(), rt)
+	if err != nil {
+		if err == errTenantBusy {
+			g.shedResponse(w, rt, kind, dataset, "inflight", time.Second,
+				fmt.Sprintf("tenant %q already has max_in_flight queries running", rt.name), nil)
+		} else {
+			g.m.shed.With(rt.name, "queue").Inc()
+			httpError(w, http.StatusServiceUnavailable, "request abandoned while queued: %v", err)
+		}
+		return nil, false
+	}
+	g.m.queueWait.Observe(time.Since(start).Seconds())
+	return release, true
+}
+
+// backendFor picks the backend a dataset lives behind by rendezvous
+// (highest-random-weight) hashing, so a flat worker fleet gets stable
+// dataset affinity without a shard map and a single coordinator backend
+// degenerates to "always backend 0". An empty dataset name also maps to
+// backend 0 (fleet-level routes).
+func (g *Gateway) backendFor(dataset string) string {
+	if len(g.backends) == 1 || dataset == "" {
+		return g.backends[0]
+	}
+	best, bestScore := g.backends[0], uint64(0)
+	for _, b := range g.backends {
+		h := fnv.New64a()
+		io.WriteString(h, b)
+		h.Write([]byte{0})
+		io.WriteString(h, dataset)
+		if s := mix64(h.Sum64()); s >= bestScore {
+			best, bestScore = b, s
+		}
+	}
+	return best
+}
+
+// price asks the backend for a predicted self-join size and compares it
+// to the tenant's budget. A pricing failure admits — an unreachable
+// estimate endpoint must not turn into an outage — mirroring the
+// coordinator's own admission contract.
+func (g *Gateway) price(r *http.Request, backend, dataset string, eps float64, metric string, budget int64) (est int64, over bool) {
+	g.m.priced.Inc()
+	url := fmt.Sprintf("%s/datasets/%s?eps=%s", backend, dataset, strconv.FormatFloat(eps, 'g', -1, 64))
+	if metric != "" {
+		url += "&metric=" + metric
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return -1, false
+	}
+	resp, err := g.rc.Do(r.Context(), req)
+	if err != nil {
+		return -1, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return -1, false
+	}
+	var out struct {
+		Estimate *struct {
+			Pairs int64 `json:"pairs"`
+		} `json:"estimate"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out); err != nil || out.Estimate == nil {
+		return -1, false
+	}
+	return out.Estimate.Pairs, out.Estimate.Pairs > budget
+}
+
+// joinBody is the subset of a join request the gateway inspects; the
+// full body is kept as a generic map so unknown fields pass through.
+type joinBody struct {
+	m      map[string]any
+	raw    []byte
+	eps    float64
+	metric string
+	stream bool
+	a      string // two-set joins: the routing dataset
+}
+
+// readJoinBody buffers and decodes a join request body, answering the
+// HTTP error itself on failure.
+func (g *Gateway) readJoinBody(w http.ResponseWriter, r *http.Request) (*joinBody, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return nil, false
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return nil, false
+	}
+	jb := &joinBody{m: m, raw: raw}
+	if v, ok := m["eps"].(float64); ok {
+		jb.eps = v
+	}
+	if v, ok := m["metric"].(string); ok {
+		jb.metric = v
+	}
+	if v, ok := m["stream"].(bool); ok {
+		jb.stream = v
+	}
+	if v, ok := m["a"].(string); ok {
+		jb.a = v
+	}
+	return jb, true
+}
+
+// handleSelfJoin and handleJoin are the experiment-aware proxy paths.
+func (g *Gateway) handleSelfJoin(w http.ResponseWriter, r *http.Request) {
+	g.proxyJoin(w, r, "selfjoin", r.PathValue("name"))
+}
+
+func (g *Gateway) handleJoin(w http.ResponseWriter, r *http.Request) {
+	g.proxyJoin(w, r, "join", "")
+}
+
+// proxyJoin is the full admission + experiment pipeline for join
+// queries: authenticate, rate-limit, price against the tenant budget,
+// fair-queue, route to an arm, proxy, and shadow if assigned.
+func (g *Gateway) proxyJoin(w http.ResponseWriter, r *http.Request, kind, dataset string) {
+	rt, ok := g.authenticate(w, r)
+	if !ok {
+		return
+	}
+	jb, ok := g.readJoinBody(w, r)
+	if !ok {
+		return
+	}
+	if kind == "join" {
+		dataset = jb.a
+	}
+	if !g.admitRate(w, rt, kind, dataset) {
+		return
+	}
+	backend := g.backendFor(dataset)
+
+	// Estimate-priced shedding: self-joins only — the backend estimate
+	// endpoint predicts self-join sizes. A request already over budget
+	// never occupies a queue slot.
+	if budget := rt.maxPairs.Load(); budget > 0 && kind == "selfjoin" && jb.eps > 0 {
+		if est, over := g.price(r, backend, dataset, jb.eps, jb.metric, budget); over {
+			g.shedResponse(w, rt, kind, dataset, "estimate", time.Second,
+				fmt.Sprintf("estimated result size %d exceeds tenant %q max_pairs budget %d; narrow eps", est, rt.name, budget),
+				map[string]any{"estimated_pairs": est, "max_pairs": budget})
+			return
+		}
+	}
+
+	release, ok := g.admitQueue(w, r, rt, kind, dataset)
+	if !ok {
+		return
+	}
+	defer release()
+
+	d := g.route(rt.name, dataset, r.Header.Get(StickyHeader))
+	arm := armIncumbent
+	body := jb.raw
+	if d.exp != "" && d.candidate && !d.shadow {
+		applyOverride(jb.m, d.override)
+		rewritten, err := encodeBody(jb.m)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		body = rewritten
+		arm = armCandidate
+	}
+	if sp := trace.FromContext(r.Context()); sp != nil && d.exp != "" {
+		sp.SetAttr("experiment", d.exp)
+		sp.SetAttr("arm", arm)
+	}
+
+	url := backend + r.URL.Path
+	if jb.stream {
+		// Streamed answers flow through; shadow diffing needs a parsed
+		// result, so streams only get per-arm latency accounting.
+		latency, _ := g.proxyPost(w, r, url, body, true)
+		g.observeArm(d.exp, arm, latency)
+		return
+	}
+	latency, resp := g.proxyPost(w, r, url, body, false)
+	g.observeArm(d.exp, arm, latency)
+	if d.exp != "" && d.candidate && d.shadow && resp != nil && resp.status == http.StatusOK {
+		inc, err := parseArmResult(resp.body, latency)
+		if err == nil {
+			applyOverride(jb.m, d.override)
+			if candBody, err := encodeBody(jb.m); err == nil {
+				g.differ.shadow(d.exp, url, candBody, rt.name, dataset, kind, inc)
+			}
+		}
+	}
+}
+
+// observeArm charges one proxied join to the experiment arm families
+// ("none"/incumbent when no rule matched, so totals stay comparable).
+func (g *Gateway) observeArm(exp, arm string, latency time.Duration) {
+	if exp == "" {
+		exp = "none"
+	}
+	g.m.armRequests.With(exp, arm).Inc()
+	g.m.armLatency.With(exp, arm).Observe(latency.Seconds())
+}
+
+// bufferedResponse is a non-streamed backend answer the gateway relayed
+// and kept for shadow diffing.
+type bufferedResponse struct {
+	status int
+	body   []byte
+}
+
+// proxyPost forwards a buffered-body POST to the backend. In stream
+// mode the response is copied through with flushes and not retained;
+// otherwise it is buffered (bounded), relayed, and returned for
+// inspection. The returned latency covers the backend call only — queue
+// wait is accounted separately.
+func (g *Gateway) proxyPost(w http.ResponseWriter, r *http.Request, url string, body []byte, stream bool) (time.Duration, *bufferedResponse) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "building backend request: %v", err)
+		return 0, nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := g.rc.DoStream(r.Context(), req)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "backend unreachable: %v", err)
+		return time.Since(start), nil
+	}
+	defer resp.Body.Close()
+	if stream {
+		relayHeaders(w, resp)
+		w.WriteHeader(resp.StatusCode)
+		flushCopy(w, resp.Body)
+		return time.Since(start), nil
+	}
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, g.maxBody*64))
+	latency := time.Since(start)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "reading backend response: %v", err)
+		return latency, nil
+	}
+	relayHeaders(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(respBody)
+	return latency, &bufferedResponse{status: resp.StatusCode, body: respBody}
+}
+
+// relayHeaders copies the response headers a client contract depends
+// on.
+func relayHeaders(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{"Content-Type", "Retry-After", "Content-Length"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+}
+
+// flushCopy streams src to w, flushing after every read so NDJSON lines
+// reach the client as the backend emits them.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handleSimpleQuery proxies range/KNN queries: authenticated,
+// rate-limited and fair-queued, but never priced or experiment-routed —
+// point queries are cheap and engine-independent.
+func (g *Gateway) handleSimpleQuery(w http.ResponseWriter, r *http.Request) {
+	rt, ok := g.authenticate(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	kind := "range"
+	if strings.HasSuffix(r.URL.Path, "/knn") {
+		kind = "knn"
+	}
+	if !g.admitRate(w, rt, kind, name) {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	release, ok := g.admitQueue(w, r, rt, kind, name)
+	if !ok {
+		return
+	}
+	defer release()
+	g.proxyPost(w, r, g.backendFor(name)+r.URL.Path, body, false)
+}
+
+// proxyLight forwards body-less dataset routes (metadata, explain,
+// delete) behind auth + rate limit.
+func (g *Gateway) proxyLight(w http.ResponseWriter, r *http.Request) {
+	rt, ok := g.authenticate(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	if !g.admitRate(w, rt, strings.ToLower(r.Method), name) {
+		return
+	}
+	url := g.backendFor(name) + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequest(r.Method, url, nil)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "building backend request: %v", err)
+		return
+	}
+	resp, err := g.rc.Do(r.Context(), req)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "backend unreachable: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	relayHeaders(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, io.LimitReader(resp.Body, g.maxBody*64))
+}
+
+// proxyUpload streams mutation bodies (PUT dataset, append points)
+// straight through to the backend — no buffering, no retries — so
+// uploads are bounded by the backend's -max-body-bytes, not the
+// gateway's query-body cap.
+func (g *Gateway) proxyUpload(w http.ResponseWriter, r *http.Request) {
+	rt, ok := g.authenticate(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	if !g.admitRate(w, rt, strings.ToLower(r.Method), name) {
+		return
+	}
+	url := g.backendFor(name) + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequest(r.Method, url, r.Body)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "building backend request: %v", err)
+		return
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	req.ContentLength = r.ContentLength
+	resp, err := g.rc.DoStream(r.Context(), req)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "backend unreachable: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	relayHeaders(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// proxyWatch passes a standing-query watch stream through: rate-limited
+// on entry but exempt from the fair queue (a watch is a long-lived
+// subscription, not a unit of query work — it would pin a slot
+// forever).
+func (g *Gateway) proxyWatch(w http.ResponseWriter, r *http.Request) {
+	rt, ok := g.authenticate(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	if !g.admitRate(w, rt, "watch", name) {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	g.proxyPost(w, r, g.backendFor(name)+r.URL.Path, body, true)
+}
+
+// handleListDatasets merges GET /datasets across every backend (a flat
+// fleet holds disjoint datasets; a single coordinator is just a 1-way
+// merge), deduplicating by name.
+func (g *Gateway) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	if _, ok := g.authenticate(w, r); !ok {
+		return
+	}
+	type info struct {
+		Name string `json:"name"`
+		Len  int    `json:"len"`
+		Dims int    `json:"dims"`
+	}
+	seen := map[string]bool{}
+	out := []info{}
+	for _, b := range g.backends {
+		resp, err := g.rc.Get(r.Context(), b+"/datasets")
+		if err != nil {
+			continue
+		}
+		var list []info
+		err = json.NewDecoder(io.LimitReader(resp.Body, g.maxBody)).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for _, d := range list {
+			if !seen[d.Name] {
+				seen[d.Name] = true
+				out = append(out, d)
+			}
+		}
+	}
+	writeJSON(w, out)
+}
+
+// handleHealthz reports the gateway as live plus each backend's health:
+// "ok" only when every backend answered 200.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type backendHealth struct {
+		URL   string `json:"url"`
+		OK    bool   `json:"ok"`
+		Error string `json:"error,omitempty"`
+	}
+	status := "ok"
+	backends := make([]backendHealth, len(g.backends))
+	for i, b := range g.backends {
+		backends[i] = backendHealth{URL: b}
+		resp, err := g.rc.Get(r.Context(), b+"/healthz")
+		if err != nil {
+			backends[i].Error = err.Error()
+			status = "degraded"
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			backends[i].Error = fmt.Sprintf("status %d", resp.StatusCode)
+			status = "degraded"
+			continue
+		}
+		backends[i].OK = true
+	}
+	writeJSON(w, map[string]any{
+		"status":   status,
+		"mode":     "gateway",
+		"tenants":  g.tenantCount(),
+		"reloads":  g.Reloads(),
+		"backends": backends,
+		"build":    g.build,
+	})
+}
+
+// handleTraces serves the gateway's own retained traces (?trace=,
+// ?limit= filters), bare-array shaped like every tier's.
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := g.tracer.Traces()
+	for i, j := 0, len(traces)-1; i < j; i, j = i+1, j-1 {
+		traces[i], traces[j] = traces[j], traces[i]
+	}
+	if want := r.URL.Query().Get("trace"); want != "" {
+		kept := traces[:0]
+		for _, td := range traces {
+			if td.TraceID == want {
+				kept = append(kept, td)
+			}
+		}
+		traces = kept
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "limit must be a non-negative integer, got %q", v)
+			return
+		}
+		if n < len(traces) {
+			traces = traces[:n]
+		}
+	}
+	if traces == nil {
+		traces = []trace.TraceData{}
+	}
+	writeJSON(w, traces)
+}
+
+// handleStitchedTrace assembles GET /debug/traces/{id} across the whole
+// stack: the gateway's own spans plus each backend's /debug/traces/{id}
+// answer — which, on a coordinator, is itself already stitched across
+// its workers — merged into one distributed span tree.
+func (g *Gateway) handleStitchedTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	type source struct {
+		URL   string `json:"url"`
+		Error string `json:"error,omitempty"`
+	}
+	sets := [][]trace.SpanData{trace.Collect(g.tracer.Traces(), id)}
+	sources := make([]source, len(g.backends))
+	for i, b := range g.backends {
+		sources[i] = source{URL: b}
+		resp, err := g.rc.Get(r.Context(), b+"/debug/traces/"+id)
+		if err != nil {
+			sources[i].Error = err.Error()
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			continue
+		}
+		var td trace.TraceData
+		err = json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&td)
+		resp.Body.Close()
+		if err != nil {
+			sources[i].Error = err.Error()
+			continue
+		}
+		sets = append(sets, td.Spans)
+	}
+	st := trace.Stitch(id, sets...)
+	if len(st.Spans) == 0 {
+		httpError(w, http.StatusNotFound, "no trace %q retained anywhere behind the gateway", id)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"trace_id": st.TraceID,
+		"spans":    st.Spans,
+		"sources":  sources,
+	})
+}
+
+// handleQueries serves the gateway's journal: shed requests and shadow
+// mismatches, newest first, with the backend tiers' filter surface.
+func (g *Gateway) handleQueries(w http.ResponseWriter, r *http.Request) {
+	f := querylog.Filter{Dataset: r.URL.Query().Get("dataset")}
+	if v := r.URL.Query().Get("slow"); v == "1" || v == "true" {
+		f.SlowOnly = true
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "limit must be a non-negative integer, got %q", v)
+			return
+		}
+		f.Limit = n
+	}
+	total, slow := g.qlog.Totals()
+	q := g.qlog.Snapshot(f)
+	if q == nil {
+		q = []querylog.Record{}
+	}
+	writeJSON(w, map[string]any{"total": total, "slow": slow, "queries": q})
+}

@@ -1,0 +1,134 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func testGateway(t *testing.T, cfg *Config) *Gateway {
+	t.Helper()
+	g, err := New(Options{Backends: []string{"http://unused"}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if cfg != nil {
+		if err := g.SetConfig(cfg); err != nil {
+			t.Fatalf("SetConfig: %v", err)
+		}
+	}
+	return g
+}
+
+func TestRouteSticky(t *testing.T) {
+	g := testGateway(t, &Config{
+		Tenants: []Tenant{{Name: "a", Key: "k"}},
+		Experiments: []Experiment{
+			{Name: "e", Dataset: "pts", Percent: 50, Override: Override{Algorithm: "brute"}},
+		},
+	})
+	first := g.route("a", "pts", "s1")
+	for i := 0; i < 100; i++ {
+		if d := g.route("a", "pts", "s1"); d.candidate != first.candidate {
+			t.Fatal("assignment not sticky across repeated requests")
+		}
+	}
+	if d := g.route("a", "other", "s1"); d.exp != "" {
+		t.Fatalf("rule for dataset pts matched dataset other: %+v", d)
+	}
+}
+
+func TestRoutePercentBounds(t *testing.T) {
+	mk := func(pct float64) *Gateway {
+		return testGateway(t, &Config{
+			Tenants:     []Tenant{{Name: "a", Key: "k"}},
+			Experiments: []Experiment{{Name: "e", Percent: pct, Override: Override{Algorithm: "brute"}}},
+		})
+	}
+	g0, g100 := mk(0), mk(100)
+	for i := 0; i < 200; i++ {
+		sticky := fmt.Sprintf("s%d", i)
+		if d := g0.route("a", "pts", sticky); d.candidate {
+			t.Fatal("0% experiment assigned a candidate")
+		}
+		if d := g100.route("a", "pts", sticky); !d.candidate {
+			t.Fatal("100% experiment left a request on the incumbent")
+		}
+	}
+}
+
+func TestRouteSplitDistribution(t *testing.T) {
+	g := testGateway(t, &Config{
+		Tenants:     []Tenant{{Name: "a", Key: "k"}},
+		Experiments: []Experiment{{Name: "e", Percent: 50, Override: Override{Algorithm: "brute"}}},
+	})
+	candidates := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if g.route("a", "pts", fmt.Sprintf("user-%d", i)).candidate {
+			candidates++
+		}
+	}
+	// FNV over 2000 distinct keys at 50%: allow ±10 points.
+	if candidates < n*40/100 || candidates > n*60/100 {
+		t.Fatalf("50%% split assigned %d/%d to candidate", candidates, n)
+	}
+}
+
+func TestRouteFirstMatchWins(t *testing.T) {
+	g := testGateway(t, &Config{
+		Tenants: []Tenant{{Name: "a", Key: "k"}},
+		Experiments: []Experiment{
+			{Name: "specific", Dataset: "pts", Percent: 100, Override: Override{Algorithm: "brute"}},
+			{Name: "catchall", Percent: 100, Override: Override{Algorithm: "auto"}},
+		},
+	})
+	if d := g.route("a", "pts", ""); d.exp != "specific" {
+		t.Fatalf("matched %q, want specific", d.exp)
+	}
+	if d := g.route("a", "other", ""); d.exp != "catchall" {
+		t.Fatalf("matched %q, want catchall", d.exp)
+	}
+}
+
+func TestApplyOverride(t *testing.T) {
+	f32 := true
+	body := map[string]any{"eps": 0.5, "algorithm": "auto", "max_pairs": float64(10)}
+	applyOverride(body, Override{Algorithm: "brute", Float32: &f32, Workers: 3})
+	raw, err := encodeBody(body)
+	if err != nil {
+		t.Fatalf("encodeBody: %v", err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("re-decoding: %v", err)
+	}
+	if got["algorithm"] != "brute" || got["float32"] != true || got["workers"] != float64(3) {
+		t.Fatalf("override not applied: %v", got)
+	}
+	if got["eps"] != 0.5 || got["max_pairs"] != float64(10) {
+		t.Fatalf("unrelated fields disturbed: %v", got)
+	}
+}
+
+func TestBackendForRendezvous(t *testing.T) {
+	g, err := New(Options{Backends: []string{"http://w1", "http://w2", "http://w3"}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("ds-%d", i)
+		b := g.backendFor(name)
+		if b2 := g.backendFor(name); b2 != b {
+			t.Fatalf("backendFor(%q) unstable: %q then %q", name, b, b2)
+		}
+		seen[b] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("64 datasets landed on %d of 3 backends", len(seen))
+	}
+	if g.backendFor("") != "http://w1" {
+		t.Fatal("fleet-level routes must pin to the first backend")
+	}
+}

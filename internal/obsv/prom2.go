@@ -1,0 +1,136 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// labelPair2 keys a two-label child. The registry's one-label families
+// cover most daemon metrics; the gateway's experiment surface needs two
+// (experiment × arm, tenant × shed-reason), hence these variants.
+type labelPair2 struct{ a, b string }
+
+// CounterVec2 is a family of counters keyed by two label values.
+type CounterVec2 struct {
+	name, help     string
+	labelA, labelB string
+	mu             sync.Mutex
+	children       map[labelPair2]*Counter
+}
+
+// NewCounterVec2 registers and returns a two-label counter family.
+func (r *Registry) NewCounterVec2(name, help, labelA, labelB string) *CounterVec2 {
+	v := &CounterVec2{name: name, help: help, labelA: labelA, labelB: labelB,
+		children: make(map[labelPair2]*Counter)}
+	r.add(v)
+	return v
+}
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec2) With(a, b string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	k := labelPair2{a, b}
+	c, ok := v.children[k]
+	if !ok {
+		c = &Counter{}
+		v.children[k] = c
+	}
+	return c
+}
+
+// Snapshot returns the current ("a","b") → count mapping with the two
+// label values joined by a comma, for tests and debug dumps.
+func (v *CounterVec2) Snapshot() map[[2]string]int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[[2]string]int64, len(v.children))
+	for k, c := range v.children {
+		out[[2]string{k.a, k.b}] = c.Value()
+	}
+	return out
+}
+
+// sortedKeys2 orders two-label children deterministically.
+func sortedKeys2[T any](children map[labelPair2]T) []labelPair2 {
+	keys := make([]labelPair2, 0, len(children))
+	for k := range children {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	return keys
+}
+
+func (v *CounterVec2) render(w io.Writer) {
+	header(w, v.name, v.help, "counter")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, k := range sortedKeys2(v.children) {
+		fmt.Fprintf(w, "%s{%s=\"%s\",%s=\"%s\"} %d\n",
+			v.name, v.labelA, escapeLabel(k.a), v.labelB, escapeLabel(k.b), v.children[k].Value())
+	}
+}
+
+// HistogramVec2 is a family of fixed-bucket histograms keyed by two
+// label values.
+type HistogramVec2 struct {
+	name, help     string
+	labelA, labelB string
+	bounds         []float64
+	mu             sync.Mutex
+	children       map[labelPair2]*Histogram
+}
+
+// NewHistogramVec2 registers and returns a two-label histogram family.
+func (r *Registry) NewHistogramVec2(name, help, labelA, labelB string, bounds []float64) *HistogramVec2 {
+	v := &HistogramVec2{name: name, help: help, labelA: labelA, labelB: labelB, bounds: bounds,
+		children: make(map[labelPair2]*Histogram)}
+	r.add(v)
+	return v
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec2) With(a, b string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	k := labelPair2{a, b}
+	h, ok := v.children[k]
+	if !ok {
+		h = newHistogram(v.bounds)
+		v.children[k] = h
+	}
+	return h
+}
+
+func (v *HistogramVec2) render(w io.Writer) {
+	header(w, v.name, v.help, "histogram")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, k := range sortedKeys2(v.children) {
+		v.children[k].writeSamples2(w, v.name, v.labelA, k.a, v.labelB, k.b)
+	}
+}
+
+// writeSamples2 renders the _bucket/_sum/_count lines with two label
+// pairs.
+func (h *Histogram) writeSamples2(w io.Writer, name, labelA, valueA, labelB, valueB string) {
+	prefix := fmt.Sprintf("%s=\"%s\",%s=\"%s\"", labelA, escapeLabel(valueA), labelB, escapeLabel(valueB))
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n", name, prefix, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, prefix, cum)
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", name, prefix, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, prefix, h.Count())
+}

@@ -1,0 +1,83 @@
+package obsv
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVec2Render(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.NewCounterVec2("gw_shed_total", "Shed requests.", "tenant", "reason")
+	v.With("acme", "rate").Add(3)
+	v.With("acme", "inflight").Inc()
+	v.With("beta", "rate").Inc()
+	var sb strings.Builder
+	reg.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE gw_shed_total counter",
+		`gw_shed_total{tenant="acme",reason="rate"} 3`,
+		`gw_shed_total{tenant="acme",reason="inflight"} 1`,
+		`gw_shed_total{tenant="beta",reason="rate"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic order: acme/inflight sorts before acme/rate.
+	if strings.Index(out, `tenant="acme",reason="inflight"`) > strings.Index(out, `tenant="acme",reason="rate"`) {
+		t.Errorf("children not sorted:\n%s", out)
+	}
+	snap := v.Snapshot()
+	if snap[[2]string{"acme", "rate"}] != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestHistogramVec2Render(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.NewHistogramVec2("gw_arm_latency_seconds", "Per-arm latency.", "experiment", "arm", []float64{0.1, 1})
+	v.With("exp1", "incumbent").Observe(0.05)
+	v.With("exp1", "incumbent").Observe(0.5)
+	v.With("exp1", "candidate").Observe(2)
+	var sb strings.Builder
+	reg.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE gw_arm_latency_seconds histogram",
+		`gw_arm_latency_seconds_bucket{experiment="exp1",arm="incumbent",le="0.1"} 1`,
+		`gw_arm_latency_seconds_bucket{experiment="exp1",arm="incumbent",le="1"} 2`,
+		`gw_arm_latency_seconds_bucket{experiment="exp1",arm="incumbent",le="+Inf"} 2`,
+		`gw_arm_latency_seconds_count{experiment="exp1",arm="incumbent"} 2`,
+		`gw_arm_latency_seconds_bucket{experiment="exp1",arm="candidate",le="1"} 0`,
+		`gw_arm_latency_seconds_bucket{experiment="exp1",arm="candidate",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestVec2Concurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounterVec2("c", "h", "a", "b")
+	h := reg.NewHistogramVec2("hh", "h", "a", "b", LatencyBuckets())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.With("x", "y").Inc()
+				h.With("x", "y").Observe(0.01)
+			}
+		}()
+	}
+	var sb strings.Builder
+	reg.Write(&sb)
+	wg.Wait()
+	if got := c.With("x", "y").Value(); got != 1600 {
+		t.Fatalf("count = %d, want 1600", got)
+	}
+}

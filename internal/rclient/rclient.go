@@ -250,10 +250,20 @@ func (c *Client) Do(ctx context.Context, req *http.Request) (*http.Response, err
 	parent := trace.FromContext(ctx)
 	attempts := c.maxRetries() + 1
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
 			delay := Backoff(attempt, c.baseDelay(), c.maxDelay())
+			if retryAfter > 0 {
+				// The server named its own backoff (admission control's
+				// 429 + Retry-After); honoring it beats hammering the
+				// exponential schedule into the same rejection. Still
+				// capped at MaxDelay so a hostile header cannot stall a
+				// scatter-gather fan-out.
+				delay = min(retryAfter, c.maxDelay())
+				retryAfter = 0
+			}
 			t := time.NewTimer(delay)
 			select {
 			case <-ctx.Done():
@@ -303,6 +313,7 @@ func (c *Client) Do(ctx context.Context, req *http.Request) (*http.Response, err
 				lastErr = err
 			} else {
 				lastErr = fmt.Errorf("server status %d", status)
+				retryAfter = ParseRetryAfter(resp.Header.Get("Retry-After"))
 				// Drain so the transport can reuse the connection.
 				_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
 				resp.Body.Close()
@@ -310,6 +321,69 @@ func (c *Client) Do(ctx context.Context, req *http.Request) (*http.Response, err
 		}
 	}
 	return nil, withAttempts(attempts, fmt.Errorf("rclient: %s %s: giving up after %d attempts: %w", req.Method, req.URL, attempts, lastErr))
+}
+
+// ParseRetryAfter reads a Retry-After header value — delay-seconds or
+// an HTTP-date — into a duration. 0 means absent or unusable (past
+// dates included), so callers can fall back to their own backoff.
+func ParseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs * float64(time.Second))
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// DoStream executes req once, with no retries, no per-attempt timeout
+// and no body-rewind requirement: the request body may be an unbuffered
+// stream (a client upload passing through a proxy) and the response may
+// be an unbounded stream (NDJSON pairs, a standing-query watch). The
+// request still carries the stable X-Request-Id and — when ctx holds a
+// trace span — a traceparent naming an "rclient.stream" child span,
+// which is ended when the returned body is closed so the span covers
+// the full transfer, not just the headers.
+func (c *Client) DoStream(ctx context.Context, req *http.Request) (*http.Response, error) {
+	if req.Header.Get(RequestIDHeader) == "" {
+		req.Header.Set(RequestIDHeader, newRequestID())
+	}
+	sp := trace.FromContext(ctx).Child("rclient.stream")
+	sp.SetAttr("method", req.Method)
+	sp.SetAttr("url", req.URL.String())
+	if sp != nil {
+		req.Header.Set("traceparent", sp.TraceParent())
+	}
+	resp, err := c.httpClient().Do(req.WithContext(ctx))
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		return nil, err
+	}
+	sp.SetAttr("status", strconv.Itoa(resp.StatusCode))
+	resp.Body = endSpanBody{ReadCloser: resp.Body, sp: sp}
+	return resp, nil
+}
+
+// endSpanBody ends the stream span when the caller finishes the body.
+type endSpanBody struct {
+	io.ReadCloser
+	sp *trace.Span
+}
+
+func (b endSpanBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.sp.End()
+	return err
 }
 
 // attempt runs one try under the per-attempt timeout. On success the

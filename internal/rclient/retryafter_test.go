@@ -1,0 +1,147 @@
+package rclient
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0.5", 500 * time.Millisecond},
+		{" 3 ", 3 * time.Second},
+		{"0", 0},
+		{"-1", 0},
+		{"garbage", 0},
+		{time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat), 0},
+	}
+	for _, c := range cases {
+		if got := ParseRetryAfter(c.in); got != c.want {
+			t.Errorf("ParseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// A future HTTP-date parses to roughly the distance to it.
+	future := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	if got := ParseRetryAfter(future); got <= 3*time.Second || got > 6*time.Second {
+		t.Errorf("ParseRetryAfter(future date) = %v, want ~5s", got)
+	}
+}
+
+// TestRetryAfterHonored asserts a 429 with Retry-After delays the next
+// attempt by the header's value rather than the exponential schedule.
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int64
+	var gap atomic.Int64
+	var last atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 {
+			gap.Store(now - prev)
+		}
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0.2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	c := &Client{MaxRetries: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Second}
+	resp, err := c.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	resp.Body.Close()
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("calls = %d, want 2", got)
+	}
+	// The exponential schedule would have waited ~1ms; the header said
+	// 200ms. Allow generous slack below the target for coarse clocks.
+	if g := time.Duration(gap.Load()); g < 150*time.Millisecond {
+		t.Errorf("retry gap = %v, want >= 150ms (Retry-After honored)", g)
+	}
+}
+
+// TestRetryAfterCapped asserts a huge Retry-After cannot stall the
+// client past MaxDelay.
+func TestRetryAfterCapped(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	c := &Client{MaxRetries: 1, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	start := time.Now()
+	resp, err := c.Get(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("call took %v; Retry-After was not capped at MaxDelay", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("calls = %d, want 2", got)
+	}
+}
+
+// TestDoStreamPassthrough asserts DoStream forwards an unbuffered
+// request body (no GetBody), carries the correlation header, and hands
+// back the response stream untouched.
+func TestDoStreamPassthrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(RequestIDHeader) == "" {
+			t.Error("missing X-Request-Id on streamed request")
+		}
+		b, _ := io.ReadAll(r.Body)
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte("echo:"))
+		w.Write(b)
+	}))
+	defer srv.Close()
+
+	// An io.Pipe has no GetBody — Do would refuse to retry it; DoStream
+	// must pass it through in one attempt.
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write([]byte("streamed-payload"))
+		pw.Close()
+	}()
+	req, err := http.NewRequest(http.MethodPost, srv.URL, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	resp, err := c.DoStream(context.Background(), req)
+	if err != nil {
+		t.Fatalf("DoStream: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.HasSuffix(string(b), "streamed-payload") {
+		t.Fatalf("body = %q", b)
+	}
+	if c.Retries() != 0 {
+		t.Fatalf("retries = %d, want 0", c.Retries())
+	}
+}
